@@ -1,0 +1,105 @@
+"""Ablation A4 — rarest first's auxiliary policies (§II-C.1).
+
+Toggles, on the instrumented peer, the two block-level policies:
+
+* **strict priority** — finish started pieces first.  Off, the peer
+  scatters requests over many pieces and holds more simultaneously
+  partial (hence unserveable) pieces;
+* **end game mode** — duplicate the last in-flight blocks everywhere.
+  On, the tail of the download (last blocks stuck behind one slow
+  uploader) shrinks; the paper notes the mode "has little impact on the
+  overall performance" but bounds the termination idle time.
+"""
+
+from random import Random
+
+from repro.instrumentation import Instrumentation
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.metainfo import make_metainfo
+from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.swarm import Swarm
+
+from _shared import write_result
+
+NUM_PIECES = 96
+
+
+def _run(strict_priority, endgame, rng_seed=67):
+    metainfo = make_metainfo(
+        "ablation-a4", num_pieces=NUM_PIECES, piece_size=16 * KIB,
+        block_size=2 * KIB,
+    )
+    swarm = Swarm(metainfo, SwarmConfig(seed=rng_seed, snapshot_interval=2.0))
+    rng = Random(rng_seed ^ 0xFEED)
+    # A deliberately slow seed plus moderate leechers: the last blocks
+    # often sit behind a slow uploader, which is what end game punishes.
+    swarm.add_peer(config=PeerConfig(upload_capacity=6 * KIB), is_seed=True)
+    for __ in range(10):
+        have = rng.sample(range(NUM_PIECES), rng.randint(10, 60))
+        swarm.add_peer(
+            config=PeerConfig(upload_capacity=rng.choice([1, 2, 8]) * KIB),
+            initial_bitfield=Bitfield(NUM_PIECES, have=have),
+        )
+    trace = Instrumentation()
+    local = swarm.add_peer(
+        config=PeerConfig(
+            upload_capacity=20 * KIB,
+            strict_priority=strict_priority,
+            endgame_enabled=endgame,
+        ),
+        observer=trace,
+    )
+    trace.start_sampling()
+    result = swarm.run(3000)
+    trace.finalize()
+    arrivals = sorted(t for t, *__ in trace.block_arrivals)
+    tail = arrivals[-1] - arrivals[max(0, len(arrivals) - 20)] if arrivals else None
+    partials = [s.active_partial_pieces for s in trace.snapshots if not s.is_seed]
+    return {
+        "done": result.download_time(local.address),
+        "tail_20_blocks": tail,
+        "max_partial_pieces": max(partials) if partials else 0,
+        "endgame_entered": trace.endgame_at is not None,
+    }
+
+
+def bench_ablation_policies(benchmark):
+    def sweep():
+        return {
+            "baseline": _run(strict_priority=True, endgame=True),
+            "no-strict": _run(strict_priority=False, endgame=True),
+            "no-endgame": _run(strict_priority=True, endgame=False),
+            "neither": _run(strict_priority=False, endgame=False),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation A4 — strict priority and end game mode",
+        "%-11s %10s %14s %14s %9s"
+        % ("variant", "dl (s)", "tail-20 (s)", "max partial", "endgame"),
+    ]
+    for name in ("baseline", "no-strict", "no-endgame", "neither"):
+        stats = results[name]
+        lines.append(
+            "%-11s %10.0f %14.1f %14d %9s"
+            % (
+                name,
+                stats["done"] or float("nan"),
+                stats["tail_20_blocks"] or float("nan"),
+                stats["max_partial_pieces"],
+                "yes" if stats["endgame_entered"] else "no",
+            )
+        )
+    write_result("ablation_policies", "\n".join(lines) + "\n")
+
+    # Shapes: strict priority caps the number of partial pieces...
+    assert (
+        results["baseline"]["max_partial_pieces"]
+        < results["no-strict"]["max_partial_pieces"]
+    )
+    # ...end game mode engages only when enabled...
+    assert results["baseline"]["endgame_entered"]
+    assert not results["no-endgame"]["endgame_entered"]
+    # ...and, per the paper, it has little impact on overall performance.
+    assert results["baseline"]["done"] <= results["no-endgame"]["done"] * 1.25

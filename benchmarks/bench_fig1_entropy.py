@@ -1,0 +1,78 @@
+"""Figure 1 — entropy characterisation.
+
+For every Table-I torrent, joins it with the instrumented client and
+reports the 20th percentile, median and 80th percentile of the two
+peer-availability ratios of §IV-A.1:
+
+* a/b: time the local peer (leecher state) is interested in each remote
+  leecher over that remote's time in the peer set (top graph);
+* c/d: time each remote leecher is interested in the local peer over the
+  same presence time (bottom graph).
+
+Paper shape: most torrents sit close to 1 on both graphs; the torrents
+in a startup (transient) phase — 1, 2, 4, 5, 6, 8, 9 — are visibly lower
+on the top graph.
+"""
+
+import math
+
+from repro.analysis import summarize_entropy
+
+from _shared import run_table1_experiment, sweep_ids, write_result
+
+
+def _sweep():
+    rows = []
+    for torrent_id in sweep_ids():
+        scenario, trace, __ = run_table1_experiment(torrent_id)
+        summary = summarize_entropy(trace)
+        rows.append((scenario, summary))
+    return rows
+
+
+def bench_fig1_entropy(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 1 — entropy characterisation (per-torrent percentiles)",
+        "%-3s %5s | %6s %6s %6s | %6s %6s %6s | %-9s"
+        % ("ID", "n", "a/b20", "a/b50", "a/b80", "c/d20", "c/d50", "c/d80", "state"),
+    ]
+    steady_ab_medians = []
+    transient_ab_medians = []
+    steady_cd_medians = []
+    for scenario, summary in rows:
+        lines.append(
+            "%-3d %5d | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f | %-9s"
+            % (
+                scenario.torrent_id,
+                len(summary.local_in_remote),
+                summary.p20_local,
+                summary.median_local,
+                summary.p80_local,
+                summary.p20_remote,
+                summary.median_remote,
+                summary.p80_remote,
+                "transient" if scenario.transient else "steady",
+            )
+        )
+        if not math.isnan(summary.median_local):
+            if scenario.transient:
+                transient_ab_medians.append(summary.median_local)
+            else:
+                steady_ab_medians.append(summary.median_local)
+        if not scenario.transient and not math.isnan(summary.median_remote):
+            steady_cd_medians.append(summary.median_remote)
+    write_result("fig1_entropy", "\n".join(lines) + "\n")
+
+    # Shape criteria (DESIGN.md S5):
+    # most steady torrents have median a/b ~ 1 ...
+    close_to_one = sum(1 for m in steady_ab_medians if m >= 0.9)
+    assert close_to_one / len(steady_ab_medians) >= 0.8
+    # ... transient torrents sit visibly lower on the top graph ...
+    mean_steady = sum(steady_ab_medians) / len(steady_ab_medians)
+    mean_transient = sum(transient_ab_medians) / len(transient_ab_medians)
+    assert mean_transient < mean_steady - 0.15
+    # ... and the bottom graph's medians are high for steady torrents.
+    high_cd = sum(1 for m in steady_cd_medians if m >= 0.7)
+    assert high_cd / len(steady_cd_medians) >= 0.6

@@ -1,0 +1,54 @@
+"""Figure 3 — number of rarest pieces vs time, transient torrent.
+
+Paper torrent 8: the size of the rarest-pieces set decreases *linearly*
+with time, because the rare pieces are served by the initial seed at a
+constant rate — the paper derives the seed's upload capacity (~36 kB/s)
+from this slope.  Shape: negative slope, good linear fit, and a decay
+rate close to the configured upload capacity of the scaled scenario's
+initial seed.
+"""
+
+from repro.analysis import rarest_set_series
+from repro.analysis.replication import linearity_r_squared, rarest_set_decay_rate
+
+from _shared import run_table1_experiment, write_result
+
+TORRENT = 8
+
+
+def bench_fig3_transient_rarest_set(benchmark):
+    def run():
+        scenario, trace, summary = run_table1_experiment(TORRENT)
+        times, sizes = rarest_set_series(trace, leecher_state_only=True)
+        return scenario, times, sizes, summary
+
+    scenario, times, sizes, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Fit only the strictly transient window (before the first full copy),
+    # as the paper does: after it the set size has collapsed.
+    cutoff = summary["first_full_copy_at"] or times[-1]
+    fit_times = [t for t in times if t <= cutoff]
+    fit_sizes = sizes[: len(fit_times)]
+    slope = rarest_set_decay_rate(fit_times, fit_sizes)
+    fit = linearity_r_squared(fit_times, fit_sizes)
+    seed_rate_pieces = scenario.initial_seed_upload / scenario.piece_size
+
+    lines = [
+        "Figure 3 — number of rarest pieces vs time (torrent 8, leecher state)",
+        "%8s %8s" % ("t (s)", "rarest"),
+    ]
+    step = max(1, len(times) // 40)
+    for index in range(0, len(times), step):
+        lines.append("%8.0f %8d" % (times[index], sizes[index]))
+    lines.append("linear fit over the transient window:")
+    lines.append(
+        "  slope = %.4f pieces/s (R^2 = %.3f); initial seed pushes %.4f pieces/s"
+        % (slope, fit if fit is not None else float("nan"), seed_rate_pieces)
+    )
+    write_result("fig3_transient_rarest_set", "\n".join(lines) + "\n")
+
+    # Shape: linear decrease whose rate is set by the source capacity.
+    assert slope is not None and slope < 0
+    assert fit is not None and fit > 0.9
+    assert abs(slope) < 1.5 * seed_rate_pieces  # cannot beat the source
+    assert abs(slope) > 0.3 * seed_rate_pieces  # and tracks it

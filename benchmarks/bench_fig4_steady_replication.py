@@ -1,0 +1,53 @@
+"""Figure 4 — piece replication in the peer set, steady-state torrent.
+
+Paper torrent 7 (1 seed, 713 leechers, 700 MB), full run: min/mean/max
+copies of pieces in the local peer set.  Paper shape: the least
+replicated piece always has at least one copy (no rare pieces — steady
+state), the mean stays well bounded between min and max, and the curves
+dip when the local peer becomes a seed and closes its connections to the
+other seeds.
+"""
+
+from repro.analysis import replication_series
+
+from _shared import run_table1_experiment, write_result
+
+TORRENT = 7
+
+
+def bench_fig4_steady_replication(benchmark):
+    def run():
+        __, trace, summary = run_table1_experiment(TORRENT)
+        full = replication_series(trace)
+        leecher = replication_series(trace, leecher_state_only=True)
+        return full, leecher, summary
+
+    full, leecher, summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 4 — copies of pieces in the peer set vs time (torrent 7)",
+        "%8s %6s %8s %6s" % ("t (s)", "min", "mean", "max"),
+    ]
+    step = max(1, len(full.times) // 40)
+    for index in range(0, len(full.times), step):
+        lines.append(
+            "%8.0f %6d %8.2f %6d"
+            % (
+                full.times[index],
+                full.min_copies[index],
+                full.mean_copies[index],
+                full.max_copies[index],
+            )
+        )
+    lines.append("local peer became a seed at t=%s" % summary["local_completed_at"])
+    write_result("fig4_steady_replication", "\n".join(lines) + "\n")
+
+    # Shape: while the local peer is a leecher the least replicated piece
+    # never disappears from the peer set (steady state, §IV-A.2.b).
+    assert leecher.times, "local peer never spent time as a leecher"
+    assert all(value >= 1 for value in leecher.min_copies)
+    # And the mean is bounded by min and max throughout.
+    assert all(
+        low <= mean <= high
+        for low, mean, high in zip(full.min_copies, full.mean_copies, full.max_copies)
+    )

@@ -1,0 +1,39 @@
+"""Figure 5 — evolution of the peer-set size, torrent 7.
+
+Paper shape: the peer set grows quickly toward its maximum (80), varies
+with churn, and drops when the local peer becomes a seed and closes its
+connections to all the other seeds (§IV-A.2.b).
+"""
+
+from repro.analysis import peer_set_series
+
+from _shared import run_table1_experiment, write_result
+
+TORRENT = 7
+
+
+def bench_fig5_peer_set(benchmark):
+    def run():
+        __, trace, summary = run_table1_experiment(TORRENT)
+        return peer_set_series(trace), summary
+
+    (times, sizes), summary = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 5 — size of the peer set vs time (torrent 7)",
+        "%8s %6s" % ("t (s)", "size"),
+    ]
+    step = max(1, len(times) // 40)
+    for index in range(0, len(times), step):
+        lines.append("%8.0f %6d" % (times[index], sizes[index]))
+    write_result("fig5_peer_set", "\n".join(lines) + "\n")
+
+    seed_at = summary["local_completed_at"]
+    assert max(sizes) <= 80  # the configured cap is honoured
+    assert max(sizes) >= 30  # and the set actually fills up
+    # The seed transition sheds the seed connections: size right after
+    # completion is below the leecher-phase peak.
+    if seed_at is not None:
+        peak = max(s for t, s in zip(times, sizes) if t <= seed_at)
+        after = [s for t, s in zip(times, sizes) if t >= seed_at]
+        assert after and min(after[: 6]) < peak

@@ -1,0 +1,52 @@
+"""Figure 6 — number of rarest pieces vs time, steady-state torrent.
+
+Paper torrent 7: the rarest-pieces set follows a *sawtooth*: every peer
+joining or leaving the peer set can change the rarest set (spikes), and
+rarest first quickly duplicates the new rarest pieces (fast collapses).
+Shape: the series repeatedly rises and falls instead of decaying once,
+and it never diverges.
+"""
+
+from repro.analysis import rarest_set_series
+
+from _shared import run_table1_experiment, write_result
+
+TORRENT = 7
+
+
+def _count_direction_changes(values):
+    changes = 0
+    last_direction = 0
+    for earlier, later in zip(values, values[1:]):
+        if later == earlier:
+            continue
+        direction = 1 if later > earlier else -1
+        if last_direction and direction != last_direction:
+            changes += 1
+        last_direction = direction
+    return changes
+
+
+def bench_fig6_steady_rarest_set(benchmark):
+    def run():
+        __, trace, __s = run_table1_experiment(TORRENT)
+        return rarest_set_series(trace)
+
+    times, sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 6 — number of rarest pieces vs time (torrent 7)",
+        "%8s %8s" % ("t (s)", "rarest"),
+    ]
+    step = max(1, len(times) // 40)
+    for index in range(0, len(times), step):
+        lines.append("%8.0f %8d" % (times[index], sizes[index]))
+    lines.append("direction changes (sawtooth count): %d" % _count_direction_changes(sizes))
+    write_result("fig6_steady_rarest_set", "\n".join(lines) + "\n")
+
+    # Shape: a sawtooth, not a monotone decay and not a divergence.
+    assert _count_direction_changes(sizes) >= 8
+    assert sizes[-1] <= max(sizes)
+    # The collapses keep the set bounded well below the piece count.
+    tail = sizes[len(sizes) // 2 :]
+    assert sum(tail) / len(tail) < max(sizes)

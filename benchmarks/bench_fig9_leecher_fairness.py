@@ -1,0 +1,61 @@
+"""Figure 9 — fairness of the choke algorithm in leecher state.
+
+For each torrent: remote peers are ranked by the bytes the local peer
+uploaded to them in leecher state and grouped in sets of 5; the figure
+reports each set's share of the uploaded bytes (top graph) and, for the
+same grouping, each set's share of the bytes downloaded from remote
+*leechers* (bottom graph).
+
+Paper shape: the black set (5 best downloaders) receives a large part of
+the upload, and the same leading sets dominate the download direction —
+reciprocation.  Torrents in transient state spread their upload over
+more peers (low entropy biases peer selection, §IV-B.2).
+"""
+
+from repro.analysis import leecher_contribution
+
+from _shared import run_table1_experiment, sweep_ids, write_result
+
+
+def _sweep():
+    rows = []
+    for torrent_id in sweep_ids():
+        scenario, trace, __ = run_table1_experiment(torrent_id)
+        up_shares, down_shares = leecher_contribution(trace)
+        rows.append((scenario, up_shares, down_shares))
+    return rows
+
+
+def bench_fig9_leecher_fairness(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 9 — leecher-state contribution by sets of 5 peers",
+        "    | upload shares (sets 1..6)           | download shares (same sets)",
+        "%-3s | %5s %5s %5s %5s %5s %5s | %5s %5s %5s %5s %5s %5s"
+        % ("ID", "s1", "s2", "s3", "s4", "s5", "s6", "s1", "s2", "s3", "s4", "s5", "s6"),
+    ]
+    top_up, top_down, aligned = [], [], 0
+    counted = 0
+    for scenario, up_shares, down_shares in rows:
+        lines.append(
+            "%-3d | %5.2f %5.2f %5.2f %5.2f %5.2f %5.2f | %5.2f %5.2f %5.2f %5.2f %5.2f %5.2f"
+            % tuple([scenario.torrent_id] + up_shares + down_shares)
+        )
+        if sum(up_shares) > 0 and sum(down_shares) > 0:
+            counted += 1
+            top_up.append(up_shares[0])
+            top_down.append(down_shares[0])
+            if down_shares[0] >= max(down_shares[3:] or [0.0]):
+                aligned += 1
+    write_result("fig9_leecher_fairness", "\n".join(lines) + "\n")
+
+    assert counted >= len(rows) * 0.6
+    # Shape: the top set dominates the upload direction...
+    assert sum(top_up) / len(top_up) > 0.35
+    # ...the same grouping carries real download traffic (reciprocation
+    # is measurable, not an artefact of empty columns)...
+    assert sum(top_down) / len(top_down) > 0.1
+    # ...and it aligns the directions for most torrents: the set we
+    # uploaded the most to out-delivers the trailing sets.
+    assert aligned / counted >= 0.6

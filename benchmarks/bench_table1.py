@@ -1,0 +1,61 @@
+"""Table I — torrent characteristics.
+
+Regenerates the paper's Table I: for each of the 26 monitored torrents,
+the number of seeds and leechers, their ratio, the maximum peer-set size
+and the content size — both the paper's values and the scaled values
+this reproduction simulates.
+"""
+
+import math
+
+from repro.workloads import TABLE1
+
+from _shared import write_result
+
+
+def _render() -> str:
+    lines = [
+        "Table I — torrent characteristics (paper -> scaled reproduction)",
+        "%-3s %8s %8s %9s %7s %8s | %6s %7s %7s %9s %5s"
+        % (
+            "ID", "# of S", "# of L", "ratio", "maxPS", "size MB",
+            "S", "L", "ratio", "pieces", "state",
+        ),
+    ]
+    for scenario in TABLE1:
+        paper_ratio = (
+            "inf" if math.isinf(scenario.paper_ratio) else "%.2g" % scenario.paper_ratio
+        )
+        scaled_ratio = (
+            "inf" if math.isinf(scenario.scaled_ratio) else "%.2g" % scenario.scaled_ratio
+        )
+        lines.append(
+            "%-3d %8d %8d %9s %7d %8d | %6d %7d %7s %9d %5s"
+            % (
+                scenario.torrent_id,
+                scenario.paper_seeds,
+                scenario.paper_leechers,
+                paper_ratio,
+                scenario.paper_max_peer_set,
+                scenario.paper_size_mb,
+                scenario.seeds,
+                scenario.leechers,
+                scaled_ratio,
+                scenario.num_pieces,
+                "T" if scenario.transient else "S",
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def bench_table1(benchmark):
+    table = benchmark(_render)
+    write_result("table1", table)
+    # Shape checks: the table covers the paper's spread of regimes.
+    assert len(TABLE1) == 26
+    no_seed = [s for s in TABLE1 if s.paper_seeds == 0]
+    single_seed = [s for s in TABLE1 if s.paper_seeds == 1]
+    seed_heavy = [s for s in TABLE1 if s.paper_ratio > 1]
+    assert len(no_seed) == 1
+    assert len(single_seed) == 10
+    assert len(seed_heavy) >= 4

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Condense benchmarks/results/*.txt into one overview (for EXPERIMENTS.md).
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/summarize_results.py
+"""
+
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+HEADLINE_LINES = {
+    "table1": 1,
+    "fig1_entropy": 10,
+    "fig2_transient_replication": 0,
+    "fig3_transient_rarest_set": 0,
+    "fig7_piece_interarrival": 3,
+    "fig8_block_interarrival": 4,
+    "fig10_unchoke_correlation": 3,
+    "ablation_piece_selection": 0,
+    "ablation_seed_choke": 4,
+    "ablation_tft": 4,
+    "ablation_policies": 6,
+    "ablation_super_seeding": 4,
+    "ablation_peer_set": 4,
+}
+
+
+def main() -> None:
+    if not RESULTS.is_dir():
+        raise SystemExit(
+            "no results directory; run pytest benchmarks/ --benchmark-only first"
+        )
+    for path in sorted(RESULTS.glob("*.txt")):
+        text = path.read_text().rstrip("\n").splitlines()
+        print("=" * 72)
+        print(path.stem)
+        print("=" * 72)
+        # Print headline lines plus any fit/summary lines near the end.
+        count = HEADLINE_LINES.get(path.stem)
+        if count:
+            for line in text[:count]:
+                print(line)
+        else:
+            for line in text[:3]:
+                print(line)
+        tail = [
+            line
+            for line in text[-6:]
+            if any(
+                marker in line
+                for marker in ("slope", "fraction", "first full", "share",
+                               "Jain", "x", "=")
+            )
+        ]
+        for line in tail:
+            print(line)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Fluid model vs simulation: local knowledge is almost free.
+
+The analytical studies the paper discusses ([21] Qiu-Srikant, [25]
+Yang-de Veciana) assume every peer knows every other peer.  The paper's
+§V observation — reproduced here — is that the *real* protocol, with its
+80-peer local view, rarest first and choke, "is close to the one
+predicted by the models":
+
+1. a steady torrent's mean download time lands near the fluid model's
+   global-knowledge equilibrium;
+2. a flash crowd's completion process accelerates like the exponential
+   service-capacity growth of [25];
+3. the fluid model's sensitivity to the *effectiveness* parameter eta
+   shows why entropy (figure 1) matters: eta is exactly what rarest
+   first maximises.
+
+Run:  python examples/model_vs_simulation.py
+"""
+
+from repro.models import FluidModel, minimum_distribution_time
+from repro.protocol.metainfo import make_metainfo
+from repro.reporting import ascii_table, sparkline
+from repro.sim.churn import flash_crowd, poisson_arrivals
+from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.swarm import Swarm
+
+UPLOAD = 4 * KIB
+NUM_PIECES = 32
+PIECE_SIZE = 4 * KIB
+CONTENT = NUM_PIECES * PIECE_SIZE
+ARRIVAL_RATE = 0.05
+SEED_STAY = 10.0
+DURATION = 4000.0
+
+
+def simulate_steady() -> float:
+    metainfo = make_metainfo(
+        "fluid-vs-sim", num_pieces=NUM_PIECES, piece_size=PIECE_SIZE,
+        block_size=1 * KIB,
+    )
+    swarm = Swarm(metainfo, SwarmConfig(seed=11))
+    swarm.add_peer(config=PeerConfig(upload_capacity=UPLOAD), is_seed=True)
+    poisson_arrivals(
+        swarm,
+        rate=ARRIVAL_RATE,
+        duration=DURATION,
+        config_factory=lambda rng: PeerConfig(
+            upload_capacity=UPLOAD, seeding_time=SEED_STAY
+        ),
+    )
+    result = swarm.run(DURATION)
+    return result.mean_download_time()
+
+
+def simulate_flash_crowd():
+    metainfo = make_metainfo(
+        "crowd-vs-model", num_pieces=16, piece_size=8 * KIB, block_size=2 * KIB
+    )
+    swarm = Swarm(metainfo, SwarmConfig(seed=5))
+    swarm.add_peer(config=PeerConfig(upload_capacity=8 * KIB), is_seed=True)
+    flash_crowd(
+        swarm, 24,
+        config_factory=lambda rng: PeerConfig(upload_capacity=8 * KIB),
+        spread=5.0,
+    )
+    result = swarm.run(1500)
+    return sorted(result.completions.values())
+
+
+def main() -> None:
+    print("=== 1. steady-state download time: fluid model vs simulator ===")
+    model = FluidModel(
+        arrival_rate=ARRIVAL_RATE,
+        upload_rate=UPLOAD / CONTENT,
+        seed_departure_rate=1.0 / SEED_STAY,
+        effectiveness=1.0,
+    )
+    predicted = model.mean_download_time()
+    measured = simulate_steady()
+    print(
+        "fluid model (global knowledge, eta=1): %.0f s\n"
+        "simulator (80-peer view, rarest first + choke): %.0f s  (x%.2f)"
+        % (predicted, measured, measured / predicted)
+    )
+
+    print("\n=== 2. flash crowd: exponential service capacity ===")
+    completions = simulate_flash_crowd()
+    half = len(completions) // 2
+    print("completion times: %s" % sparkline(completions))
+    print(
+        "first %d completions span %.0f s, last %d span %.0f s "
+        "(accelerating, as [25] predicts)"
+        % (
+            half,
+            completions[half - 1] - completions[0],
+            len(completions) - half,
+            completions[-1] - completions[half],
+        )
+    )
+    bound = minimum_distribution_time(
+        content_size=16 * 8 * KIB,
+        source_upload=8 * KIB,
+        peer_upload=8 * KIB,
+        num_peers=24,
+        num_pieces=16,
+    )
+    print(
+        "theoretical minimum distribution time: %.0f s; last completion: %.0f s"
+        % (bound, completions[-1])
+    )
+
+    print("\n=== 3. why entropy matters: the effectiveness parameter ===")
+    rows = []
+    for eta in (1.0, 0.8, 0.5, 0.2):
+        variant = FluidModel(
+            arrival_rate=ARRIVAL_RATE,
+            upload_rate=UPLOAD / CONTENT,
+            seed_departure_rate=1.0 / SEED_STAY,
+            effectiveness=eta,
+        )
+        rows.append(["%.1f" % eta, "%.0f" % variant.mean_download_time()])
+    print(ascii_table(["eta", "mean download (s)"], rows))
+    print(
+        "=> eta is the fluid model's stand-in for piece diversity; the\n"
+        "   close-to-1 entropy that rarest first delivers (figure 1) is\n"
+        "   what keeps real swarms on the eta=1 line."
+    )
+
+
+if __name__ == "__main__":
+    main()

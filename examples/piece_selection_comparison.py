@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Piece-selection shoot-out: rarest first vs its proposed replacements.
+
+The paper's central claim is that local rarest first is "enough": random
+selection is worse, and the extra machinery of global knowledge or
+network coding buys almost nothing on real (well-connected, 80-peer-set)
+torrents.  This script compares the strategies twice:
+
+* in a **steady-state** torrent (random partial bitfields, the regime of
+  §IV-A.2.b), where every strategy reaches high entropy but rarest first
+  keeps the piece-replication balance much tighter; and
+* in a **transient** flash crowd behind one slow seed (§IV-A.2.a), where
+  selection discipline decides how well the swarm tracks the source and
+  sequential selection collapses.
+
+The idealised network-coding comparator (repro.coding) bounds what any
+piece selection could achieve.
+
+Run:  python examples/piece_selection_comparison.py
+"""
+
+from random import Random
+
+from repro.analysis import replication_series, summarize_entropy
+from repro.coding import CodingSwarm
+from repro.core.rarest_first import (
+    GlobalRarestSelector,
+    RandomSelector,
+    RarestFirstSelector,
+    SequentialSelector,
+)
+from repro.instrumentation import Instrumentation
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.metainfo import make_metainfo
+from repro.sim.churn import flash_crowd
+from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.swarm import Swarm
+
+NUM_PIECES = 128
+PIECE_SIZE = 32 * KIB
+CROWD = 30
+SEED_UPLOAD = 24 * KIB
+
+STRATEGIES = (
+    ("rarest-first", RarestFirstSelector),
+    ("random", RandomSelector),
+    ("sequential", SequentialSelector),
+    ("global-rarest", GlobalRarestSelector),
+)
+
+
+def run_swarm(selector_factory, steady: bool, rng_seed=19, duration=1500.0):
+    metainfo = make_metainfo(
+        "shootout", num_pieces=NUM_PIECES, piece_size=PIECE_SIZE,
+        block_size=8 * KIB,
+    )
+    swarm = Swarm(metainfo, SwarmConfig(seed=rng_seed, snapshot_interval=10.0))
+
+    def make_selector():
+        if selector_factory is GlobalRarestSelector:
+            return GlobalRarestSelector(lambda: swarm.global_counts)
+        return selector_factory()
+
+    swarm.add_peer(config=PeerConfig(upload_capacity=SEED_UPLOAD), is_seed=True)
+    crowd_rng = Random(rng_seed ^ 0xC0FFEE)
+
+    def crowd_kwargs():
+        kwargs = {"selector": make_selector()}
+        if steady:
+            have = crowd_rng.sample(
+                range(NUM_PIECES),
+                crowd_rng.randint(NUM_PIECES // 20, NUM_PIECES // 4),
+            )
+            kwargs["initial_bitfield"] = Bitfield(NUM_PIECES, have=have)
+        return kwargs
+
+    flash_crowd(
+        swarm,
+        CROWD,
+        config_factory=lambda rng: PeerConfig(
+            upload_capacity=rng.choice([8, 16, 24]) * KIB, seeding_time=60.0
+        ),
+        spread=20.0,
+        kwargs_factory=crowd_kwargs,
+    )
+    trace = Instrumentation()
+    local = swarm.add_peer(
+        config=PeerConfig(upload_capacity=20 * KIB),
+        selector=make_selector(),
+        observer=trace,
+    )
+    trace.start_sampling()
+    result = swarm.run(duration)
+    trace.finalize()
+
+    entropy = summarize_entropy(trace)
+    series = replication_series(trace, leecher_state_only=True)
+    gaps = [
+        high - low for low, high in zip(series.min_copies, series.max_copies)
+    ]
+    return {
+        "entropy_ab": entropy.median_local,
+        "entropy_cd": entropy.median_remote,
+        "diversity_gap": sum(gaps) / len(gaps) if gaps else float("nan"),
+        "mean_download": result.mean_download_time(),
+    }
+
+
+def run_coding(rng_seed=19, duration=1500.0):
+    swarm = CodingSwarm(
+        total_size=NUM_PIECES * PIECE_SIZE, config=SwarmConfig(seed=rng_seed)
+    )
+    swarm.add_peer("seed", PeerConfig(upload_capacity=SEED_UPLOAD), is_seed=True)
+    for index in range(CROWD + 1):
+        upload = [8, 16, 24][index % 3] * KIB
+        swarm.add_peer("peer%d" % index, PeerConfig(upload_capacity=upload))
+    result = swarm.run(duration)
+    return {"mean_download": result.mean_download_time()}
+
+
+def main() -> None:
+    print("=== piece selection shoot-out ===")
+    print(
+        "swarm: 1 seed @ %d kiB/s + %d leechers, %d pieces x %d kiB\n"
+        % (SEED_UPLOAD // KIB, CROWD, NUM_PIECES, PIECE_SIZE // KIB)
+    )
+
+    print("--- steady state (torrent met mid-life) ---")
+    header = "%-16s %10s %10s %12s %12s" % (
+        "strategy", "a/b med", "c/d med", "avail. gap", "mean dl (s)"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, factory in STRATEGIES:
+        stats = run_swarm(factory, steady=True)
+        print(
+            "%-16s %10.2f %10.2f %12.1f %12.0f"
+            % (
+                name,
+                stats["entropy_ab"],
+                stats["entropy_cd"],
+                stats["diversity_gap"],
+                stats["mean_download"] or float("nan"),
+            )
+        )
+    print(
+        "=> every strategy reaches high entropy in steady state, but\n"
+        "   rarest first keeps the max-min replication gap far tighter.\n"
+    )
+
+    print("--- transient state (flash crowd, empty leechers) ---")
+    print(header)
+    print("-" * len(header))
+    for name, factory in STRATEGIES:
+        stats = run_swarm(factory, steady=False)
+        print(
+            "%-16s %10.2f %10.2f %12.1f %12.0f"
+            % (
+                name,
+                stats["entropy_ab"],
+                stats["entropy_cd"],
+                stats["diversity_gap"],
+                stats["mean_download"] or float("nan"),
+            )
+        )
+    coding = run_coding()
+    print(
+        "%-16s %10s %10s %12s %12.0f   (idealised upper bound)"
+        % ("network-coding", "1.00*", "1.00*", "-",
+           coding["mean_download"] or float("nan"))
+    )
+    print(
+        "\n* coding interest is ideal by construction (repro.coding docs)."
+        "\n=> rarest first matches the global-knowledge oracle and sits"
+        "\n   close to the coding bound; sequential selection collapses in"
+        "\n   the transient phase — replacing rarest first 'cannot be"
+        "\n   justified' (paper §IV-A.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

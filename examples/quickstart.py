@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Quickstart: join a Table-I torrent with an instrumented client.
+
+Reproduces the paper's basic methodology in one page: build one of the
+26 monitored torrents (here torrent 13: 9 seeds, 30 leechers, 350 MB),
+join it with an instrumented mainline-default client, run the
+experiment, and print the headline measurements — entropy ratios,
+piece-replication state, download milestones and the choke algorithm's
+behaviour in both states.
+
+Run:  python examples/quickstart.py [torrent-id] [seed]
+"""
+
+import sys
+
+from repro.analysis import (
+    interarrival_summary,
+    peer_set_series,
+    replication_series,
+    summarize_entropy,
+    unchoke_interest_correlation,
+)
+from repro.workloads import build_experiment, scaled_copy, scenario_by_id
+
+
+def main() -> None:
+    torrent_id = int(sys.argv[1]) if len(sys.argv) > 1 else 13
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+
+    scenario = scenario_by_id(torrent_id)
+    # Trim the run so the quickstart finishes in well under a minute;
+    # drop this override to run the full-length experiment.
+    scenario = scaled_copy(scenario, duration=min(scenario.duration, 1500.0))
+
+    print("=== torrent %d (Table I) ===" % scenario.torrent_id)
+    print(
+        "paper: %d seeds / %d leechers, %d MB   scaled: %d seeds / %d "
+        "leechers, %d pieces, %s state"
+        % (
+            scenario.paper_seeds,
+            scenario.paper_leechers,
+            scenario.paper_size_mb,
+            scenario.seeds,
+            scenario.leechers,
+            scenario.num_pieces,
+            "transient" if scenario.transient else "steady",
+        )
+    )
+
+    harness = build_experiment(scenario, seed=seed)
+    print("\nrunning %.0f simulated seconds ..." % scenario.duration)
+    trace = harness.run()
+    local = harness.local_peer
+
+    print("\n--- download ---")
+    print("pieces: %d/%d" % (local.bitfield.count, local.bitfield.num_pieces))
+    if trace.seed_state_at is not None:
+        print(
+            "became a seed at t=%.0f s (end game entered at t=%s)"
+            % (trace.seed_state_at, trace.endgame_at)
+        )
+    print(
+        "messages sent/received: %d / %d"
+        % (trace.messages_sent, trace.messages_received)
+    )
+
+    print("\n--- entropy (figure 1) ---")
+    entropy = summarize_entropy(trace)
+    print(
+        "local interested in remotes  a/b  p20=%.2f median=%.2f p80=%.2f"
+        % (entropy.p20_local, entropy.median_local, entropy.p80_local)
+    )
+    print(
+        "remotes interested in local  c/d  p20=%.2f median=%.2f p80=%.2f"
+        % (entropy.p20_remote, entropy.median_remote, entropy.p80_remote)
+    )
+
+    print("\n--- piece replication in the peer set (figures 2/4) ---")
+    series = replication_series(trace, leecher_state_only=True)
+    if series.times:
+        print(
+            "min copies: min=%d  final=%d   mean copies: final=%.1f"
+            % (min(series.min_copies), series.min_copies[-1], series.mean_copies[-1])
+        )
+        print("fraction of samples with a missing piece: %.2f" % series.fraction_at_zero())
+    times, sizes = peer_set_series(trace)
+    if sizes:
+        print("peer set size: max=%d final=%d" % (max(sizes), sizes[-1]))
+
+    print("\n--- interarrival times (figures 7/8) ---")
+    pieces = interarrival_summary(trace, kind="piece")
+    print(
+        "piece interarrival: median=%.2fs  first-%d slowdown=x%.1f  "
+        "last-%d slowdown=x%.1f"
+        % (
+            pieces.median_all,
+            pieces.n,
+            pieces.first_slowdown(),
+            pieces.n,
+            pieces.last_slowdown(),
+        )
+    )
+
+    print("\n--- choke algorithm (figure 10) ---")
+    for state in ("leecher", "seed"):
+        correlation = unchoke_interest_correlation(trace, state=state)
+        if len(correlation) >= 3:
+            print(
+                "%s state: %d remotes, unchoke/interest correlation=%.2f"
+                % (state, len(correlation), correlation.correlation)
+            )
+        else:
+            print("%s state: not enough data" % state)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""Figures 9, 10 and 11: choke-algorithm fairness analysis.
+
+* Figure 9 (leecher state): remote peers are ranked by the bytes the
+  local peer uploaded to them; consecutive sets of 5 peers are formed and
+  each set's share of the total upload (top graph) and of the total
+  download **from leechers** (bottom graph) is reported.  Reciprocation
+  shows as the same leading sets dominating both directions.
+* Figure 10: per remote peer, the number of times the local peer unchoked
+  it against the time the remote was interested in the local peer —
+  leecher state (top) and seed state (bottom).
+* Figure 11 (seed state): same sets-of-5 construction on the bytes
+  uploaded while in seed state; the new seed-state choke algorithm
+  spreads the shares far more evenly than the leecher-state figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.stats import pearson
+from repro.core.fairness import contribution_sets, reciprocation_shares
+from repro.instrumentation.logger import Instrumentation
+
+
+def leecher_contribution(
+    instrumentation: Instrumentation, set_size: int = 5, num_sets: int = 6
+) -> Tuple[List[float], List[float]]:
+    """Figure 9 data: (upload shares, reciprocated download shares).
+
+    Groups are formed on bytes uploaded in leecher state; the download
+    direction excludes remotes that were already seeds when they joined
+    the peer set, because "it is not possible to reciprocate data to
+    seeds" (leechers that completed *during* the observation keep their
+    leecher-phase contribution).
+    """
+    instrumentation.finalize()
+    uploaded: Dict[str, float] = {}
+    downloaded: Dict[str, float] = {}
+    for address, record in instrumentation.records.items():
+        uploaded[address] = record.uploaded_leecher_state
+        if not record.was_seed_on_arrival():
+            downloaded[address] = record.downloaded_leecher_state
+    return reciprocation_shares(uploaded, downloaded, set_size, num_sets)
+
+
+def seed_contribution(
+    instrumentation: Instrumentation, set_size: int = 5, num_sets: int = 6
+) -> List[float]:
+    """Figure 11 data: shares of seed-state upload per set of 5 peers."""
+    instrumentation.finalize()
+    uploaded = {
+        address: record.uploaded_seed_state
+        for address, record in instrumentation.records.items()
+        if record.uploaded_seed_state > 0
+    }
+    return contribution_sets(uploaded, set_size, num_sets)
+
+
+@dataclass
+class UnchokeCorrelation:
+    """Figure 10 data for one local-peer state."""
+
+    interested_times: List[float]
+    unchoke_counts: List[int]
+
+    @property
+    def correlation(self) -> float:
+        return pearson(self.interested_times, [float(c) for c in self.unchoke_counts])
+
+    def __len__(self) -> int:
+        return len(self.interested_times)
+
+
+def unchoke_interest_correlation(
+    instrumentation: Instrumentation, state: str = "leecher"
+) -> UnchokeCorrelation:
+    """Per-remote (interested time, number of unchokes) in one state.
+
+    ``state`` is ``"leecher"`` or ``"seed"``; the window is the local
+    peer's time in that state.
+    """
+    instrumentation.finalize()
+    if state == "leecher":
+        window = instrumentation.leecher_interval
+    elif state == "seed":
+        window = instrumentation.seed_interval
+        if window is None:
+            return UnchokeCorrelation(interested_times=[], unchoke_counts=[])
+    else:
+        raise ValueError("state must be 'leecher' or 'seed', got %r" % state)
+    start, end = window
+    interested: List[float] = []
+    counts: List[int] = []
+    for record in instrumentation.records.values():
+        presence = record.presence.total_clipped(start, end)
+        if presence <= 0:
+            continue
+        interested.append(
+            record.remote_interested_in_local.total_clipped(start, end)
+        )
+        counts.append(
+            sum(1 for time in record.unchoke_times if start <= time < end)
+        )
+    return UnchokeCorrelation(interested_times=interested, unchoke_counts=counts)
+
+
+def seed_service_bytes(instrumentation: Instrumentation) -> Dict[str, float]:
+    """Bytes served to each remote peer while in seed state (for the
+    Jain-index uniformity check of the seed fairness criterion)."""
+    instrumentation.finalize()
+    return {
+        address: record.uploaded_seed_state
+        for address, record in instrumentation.records.items()
+        if record.uploaded_seed_state > 0
+    }

@@ -1,0 +1,95 @@
+"""Figures 7 and 8: piece and block interarrival-time CDFs.
+
+The paper compares the interarrival-time distribution of the 100 first
+downloaded pieces (resp. blocks), of the 100 last, and of all of them.
+The reproduction criterion (§IV-A.3): in steady state the last-100 CDF
+hugs the all-items CDF (no last-pieces problem) while the first-100 CDF
+is shifted right (the *first pieces/blocks problem*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analysis.stats import median, percentile
+from repro.instrumentation.logger import Instrumentation
+
+
+@dataclass
+class InterarrivalSummary:
+    """Interarrival populations of one item kind (pieces or blocks)."""
+
+    all_items: List[float]
+    first_n: List[float]
+    last_n: List[float]
+    n: int
+
+    @property
+    def median_all(self) -> float:
+        return median(self.all_items) if self.all_items else float("nan")
+
+    @property
+    def median_first(self) -> float:
+        return median(self.first_n) if self.first_n else float("nan")
+
+    @property
+    def median_last(self) -> float:
+        return median(self.last_n) if self.last_n else float("nan")
+
+    def first_slowdown(self) -> float:
+        """Ratio median(first n) / median(all): > 1 is a first-items problem."""
+        if not self.all_items or self.median_all == 0:
+            return float("nan")
+        return self.median_first / self.median_all
+
+    def last_slowdown(self) -> float:
+        """Ratio median(last n) / median(all): ~1 means no last-items problem."""
+        if not self.all_items or self.median_all == 0:
+            return float("nan")
+        return self.median_last / self.median_all
+
+    def tail_ratio(self, fraction: float = 0.9) -> Tuple[float, float]:
+        """(first-n, last-n) high-percentile interarrivals relative to all."""
+        if not self.all_items:
+            return float("nan"), float("nan")
+        base = percentile(self.all_items, fraction)
+        if base == 0:
+            return float("nan"), float("nan")
+        first = percentile(self.first_n, fraction) if self.first_n else float("nan")
+        last = percentile(self.last_n, fraction) if self.last_n else float("nan")
+        return first / base, last / base
+
+
+def interarrival_times(arrival_times: Sequence[float]) -> List[float]:
+    """Consecutive differences of an (already ordered) arrival sequence."""
+    ordered = sorted(arrival_times)
+    return [
+        later - earlier for earlier, later in zip(ordered, ordered[1:])
+    ]
+
+
+def _summary(arrivals: Sequence[float], n: int) -> InterarrivalSummary:
+    ordered = sorted(arrivals)
+    return InterarrivalSummary(
+        all_items=interarrival_times(ordered),
+        first_n=interarrival_times(ordered[: n + 1]),
+        last_n=interarrival_times(ordered[-(n + 1) :]),
+        n=n,
+    )
+
+
+def interarrival_summary(
+    instrumentation: Instrumentation, kind: str = "piece", n: int = 100
+) -> InterarrivalSummary:
+    """Figure 7 (``kind="piece"``) or figure 8 (``kind="block"``) data."""
+    if kind == "piece":
+        arrivals = [time for time, __ in instrumentation.piece_completions]
+    elif kind == "block":
+        arrivals = [entry[0] for entry in instrumentation.block_arrivals]
+    else:
+        raise ValueError("kind must be 'piece' or 'block', got %r" % kind)
+    if len(arrivals) < 3:
+        raise ValueError("not enough %s arrivals to analyse" % kind)
+    n = min(n, max(1, len(arrivals) // 3))
+    return _summary(arrivals, n)

@@ -1,0 +1,16 @@
+"""Figure 5: evolution of the peer-set size."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.instrumentation.logger import Instrumentation
+
+
+def peer_set_series(instrumentation: Instrumentation) -> Tuple[List[float], List[int]]:
+    """(times, peer-set sizes) from the periodic snapshots."""
+    snapshots = instrumentation.snapshots
+    return (
+        [snapshot.time for snapshot in snapshots],
+        [snapshot.peer_set_size for snapshot in snapshots],
+    )

@@ -1,0 +1,341 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro list-torrents
+    python -m repro run --torrent 7 --seed 3 --save trace.json
+    python -m repro figure entropy --torrent 7
+    python -m repro figure replication --torrent 8 --leecher-only
+    python -m repro figure interarrival --torrent 10 --kind piece
+    python -m repro figure fairness --torrent 7
+    python -m repro analyze trace.json --figure entropy
+    python -m repro model --arrival-rate 0.05 --upload 4096 --content 131072
+
+``run`` executes one Table-I experiment with the instrumented client;
+``figure`` runs it and prints the requested figure's data; ``analyze``
+recomputes figures from a saved trace without re-simulating; ``model``
+evaluates the Qiu–Srikant fluid model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    interarrival_summary,
+    peer_set_series,
+    rarest_set_series,
+    replication_series,
+    summarize_entropy,
+    unchoke_interest_correlation,
+)
+from repro.analysis.fairness import leecher_contribution, seed_contribution
+from repro.instrumentation import Instrumentation
+from repro.models import FluidModel
+from repro.reporting import (
+    ascii_table,
+    load_trace_summary,
+    save_trace_summary,
+    sparkline,
+)
+from repro.workloads import TABLE1, build_experiment, scaled_copy, scenario_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Rarest First and Choke Algorithms Are Enough' (IMC 2006)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "list-torrents", help="print Table I (paper and scaled parameters)"
+    )
+
+    run_parser = commands.add_parser(
+        "run", help="run one Table-I experiment with the instrumented client"
+    )
+    _experiment_arguments(run_parser)
+    run_parser.add_argument(
+        "--save", metavar="PATH", help="save the trace summary as JSON"
+    )
+
+    figure_parser = commands.add_parser(
+        "figure", help="run an experiment and print one figure's data"
+    )
+    figure_parser.add_argument(
+        "name",
+        choices=["entropy", "replication", "rarest-set", "peer-set",
+                 "interarrival", "fairness"],
+        help="which figure to regenerate",
+    )
+    _experiment_arguments(figure_parser)
+    figure_parser.add_argument(
+        "--kind", choices=["piece", "block"], default="piece",
+        help="interarrival item kind (figure 7 vs 8)",
+    )
+    figure_parser.add_argument(
+        "--leecher-only", action="store_true",
+        help="restrict series to the local peer's leecher state",
+    )
+
+    analyze_parser = commands.add_parser(
+        "analyze", help="recompute figures from a saved trace (no simulation)"
+    )
+    analyze_parser.add_argument("trace", help="JSON trace from 'run --save'")
+    analyze_parser.add_argument(
+        "--figure",
+        choices=["entropy", "replication", "rarest-set", "peer-set",
+                 "interarrival", "fairness"],
+        default="entropy",
+    )
+    analyze_parser.add_argument(
+        "--kind", choices=["piece", "block"], default="piece"
+    )
+    analyze_parser.add_argument("--leecher-only", action="store_true")
+
+    model_parser = commands.add_parser(
+        "model", help="evaluate the Qiu-Srikant fluid model"
+    )
+    model_parser.add_argument("--arrival-rate", type=float, required=True)
+    model_parser.add_argument(
+        "--upload", type=float, required=True, help="peer upload, bytes/s"
+    )
+    model_parser.add_argument(
+        "--content", type=float, required=True, help="content size, bytes"
+    )
+    model_parser.add_argument("--seed-stay", type=float, default=60.0)
+    model_parser.add_argument("--abort-rate", type=float, default=0.0)
+    model_parser.add_argument("--effectiveness", type=float, default=1.0)
+    model_parser.add_argument("--duration", type=float, default=2000.0)
+    return parser
+
+
+def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--torrent", type=int, default=7, help="Table-I id (1-26)")
+    parser.add_argument("--seed", type=int, default=3, help="RNG seed")
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the scenario's run length (simulated seconds)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list-torrents": _cmd_list_torrents,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "analyze": _cmd_analyze,
+        "model": _cmd_model,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_list_torrents(args: argparse.Namespace) -> int:
+    rows = []
+    for scenario in TABLE1:
+        rows.append(
+            [
+                scenario.torrent_id,
+                scenario.paper_seeds,
+                scenario.paper_leechers,
+                scenario.paper_size_mb,
+                scenario.seeds,
+                scenario.leechers,
+                scenario.num_pieces,
+                "transient" if scenario.transient else "steady",
+            ]
+        )
+    print(
+        ascii_table(
+            ["id", "S", "L", "MB", "S'", "L'", "pieces", "state"], rows
+        )
+    )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> Instrumentation:
+    scenario = scenario_by_id(args.torrent)
+    if args.duration is not None:
+        scenario = scaled_copy(scenario, duration=args.duration)
+    print(
+        "running torrent %d (%s, %d+%d peers, %d pieces) for %.0f s ..."
+        % (
+            scenario.torrent_id,
+            "transient" if scenario.transient else "steady",
+            scenario.seeds,
+            scenario.leechers,
+            scenario.num_pieces,
+            scenario.duration,
+        ),
+        file=sys.stderr,
+    )
+    harness = build_experiment(scenario, seed=args.seed)
+    return harness.run()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = _run_experiment(args)
+    print(
+        "local peer: %d pieces, seed at t=%s, %d messages sent"
+        % (
+            trace.peer.bitfield.count,
+            trace.seed_state_at,
+            trace.messages_sent,
+        )
+    )
+    if args.save:
+        save_trace_summary(trace, args.save)
+        print("trace saved to %s" % args.save)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    trace = _run_experiment(args)
+    _print_figure(trace, args.name, args)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = load_trace_summary(args.trace)
+    _print_figure(trace, args.figure, args)
+    return 0
+
+
+def _print_figure(trace: Instrumentation, name: str, args) -> None:
+    leecher_only = getattr(args, "leecher_only", False)
+    if name == "entropy":
+        summary = summarize_entropy(trace)
+        print(
+            ascii_table(
+                ["ratio", "p20", "median", "p80", "n"],
+                [
+                    [
+                        "a/b (local in remote)",
+                        "%.2f" % summary.p20_local,
+                        "%.2f" % summary.median_local,
+                        "%.2f" % summary.p80_local,
+                        len(summary.local_in_remote),
+                    ],
+                    [
+                        "c/d (remote in local)",
+                        "%.2f" % summary.p20_remote,
+                        "%.2f" % summary.median_remote,
+                        "%.2f" % summary.p80_remote,
+                        len(summary.remote_in_local),
+                    ],
+                ],
+            )
+        )
+    elif name == "replication":
+        series = replication_series(trace, leecher_state_only=leecher_only)
+        print("min copies:  %s" % sparkline(series.min_copies))
+        print("mean copies: %s" % sparkline(series.mean_copies))
+        print("max copies:  %s" % sparkline(series.max_copies))
+        rows = [
+            ["%.0f" % t, low, "%.2f" % mean, high]
+            for t, low, mean, high in list(
+                zip(
+                    series.times,
+                    series.min_copies,
+                    series.mean_copies,
+                    series.max_copies,
+                )
+            )[:: max(1, len(series.times) // 25)]
+        ]
+        print(ascii_table(["t", "min", "mean", "max"], rows))
+    elif name == "rarest-set":
+        times, sizes = rarest_set_series(trace, leecher_state_only=leecher_only)
+        print("rarest-set size: %s" % sparkline(sizes))
+        rows = [
+            ["%.0f" % t, s]
+            for t, s in list(zip(times, sizes))[:: max(1, len(times) // 25)]
+        ]
+        print(ascii_table(["t", "rarest"], rows))
+    elif name == "peer-set":
+        times, sizes = peer_set_series(trace)
+        print("peer-set size: %s" % sparkline(sizes))
+        rows = [
+            ["%.0f" % t, s]
+            for t, s in list(zip(times, sizes))[:: max(1, len(times) // 25)]
+        ]
+        print(ascii_table(["t", "size"], rows))
+    elif name == "interarrival":
+        summary = interarrival_summary(trace, kind=args.kind)
+        print(
+            ascii_table(
+                ["population", "median (s)", "slowdown vs all"],
+                [
+                    ["all", "%.3f" % summary.median_all, "x1.00"],
+                    [
+                        "first %d" % summary.n,
+                        "%.3f" % summary.median_first,
+                        "x%.2f" % summary.first_slowdown(),
+                    ],
+                    [
+                        "last %d" % summary.n,
+                        "%.3f" % summary.median_last,
+                        "x%.2f" % summary.last_slowdown(),
+                    ],
+                ],
+            )
+        )
+    elif name == "fairness":
+        up_shares, down_shares = leecher_contribution(trace)
+        seed_shares = seed_contribution(trace)
+        rows = [
+            ["set %d" % (index + 1),
+             "%.2f" % up, "%.2f" % down, "%.2f" % seed]
+            for index, (up, down, seed) in enumerate(
+                zip(up_shares, down_shares, seed_shares)
+            )
+        ]
+        print(ascii_table(["peers", "upload LS", "download LS", "upload SS"], rows))
+        for state in ("leecher", "seed"):
+            correlation = unchoke_interest_correlation(trace, state=state)
+            if len(correlation) >= 3 and not math.isnan(correlation.correlation):
+                print(
+                    "%s-state unchoke/interest correlation: %.2f (%d peers)"
+                    % (state, correlation.correlation, len(correlation))
+                )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError("unknown figure %r" % name)
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    model = FluidModel(
+        arrival_rate=args.arrival_rate,
+        upload_rate=args.upload / args.content,
+        abort_rate=args.abort_rate,
+        seed_departure_rate=1.0 / args.seed_stay if args.seed_stay > 0 else 0.0,
+        effectiveness=args.effectiveness,
+    )
+    states = model.integrate(duration=args.duration, dt=1.0)
+    leechers = [s.leechers for s in states]
+    seeds = [s.seeds for s in states]
+    print("leechers: %s" % sparkline(leechers[:: max(1, len(leechers) // 60)]))
+    print("seeds:    %s" % sparkline(seeds[:: max(1, len(seeds) // 60)]))
+    equilibrium = model.steady_state()
+    if equilibrium is not None:
+        print(
+            "steady state: x*=%.1f leechers, y*=%.1f seeds"
+            % (equilibrium.leechers, equilibrium.seeds)
+        )
+        mean_dl = model.mean_download_time()
+        if mean_dl is not None:
+            print("mean download time: %.0f s" % mean_dl)
+    else:
+        print("no finite steady state (seeds accumulate)")
+    print(
+        "final populations after %.0f s: %.1f leechers, %.1f seeds"
+        % (args.duration, leechers[-1], seeds[-1])
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

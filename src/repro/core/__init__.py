@@ -1,0 +1,58 @@
+"""The paper's primary contribution: BitTorrent's two core algorithms.
+
+* :mod:`repro.core.rarest_first` — the local rarest first piece-selection
+  algorithm with its three auxiliary policies (random first, strict
+  priority, end game mode) plus random / sequential / global-rarest
+  baselines;
+* :mod:`repro.core.piece_picker` — availability accounting, partial-piece
+  tracking and block scheduling shared by every strategy;
+* :mod:`repro.core.choke` — the choke peer-selection algorithm: leecher
+  state, the *new* seed state (SKU/SRU round robin of mainline ≥ 4.0.0),
+  the old rate-based seed state, and a bit-level tit-for-tat baseline;
+* :mod:`repro.core.rate_estimator` — the sliding-window transfer-rate
+  estimator feeding the choke algorithm;
+* :mod:`repro.core.fairness` — the paper's two fairness criteria (§IV-B.1);
+* :mod:`repro.core.free_rider` — free-riding client behaviour.
+"""
+
+from repro.core.choke import (
+    ChokeDecision,
+    Choker,
+    LeecherChoker,
+    OldSeedChoker,
+    SeedChoker,
+    TitForTatChoker,
+)
+from repro.core.fairness import (
+    FairnessReport,
+    leecher_fairness_violations,
+    seed_service_uniformity,
+)
+from repro.core.piece_picker import PiecePicker
+from repro.core.rarest_first import (
+    GlobalRarestSelector,
+    PieceSelector,
+    RandomSelector,
+    RarestFirstSelector,
+    SequentialSelector,
+)
+from repro.core.rate_estimator import RateEstimator
+
+__all__ = [
+    "ChokeDecision",
+    "Choker",
+    "FairnessReport",
+    "GlobalRarestSelector",
+    "LeecherChoker",
+    "OldSeedChoker",
+    "PiecePicker",
+    "PieceSelector",
+    "RandomSelector",
+    "RarestFirstSelector",
+    "RateEstimator",
+    "SeedChoker",
+    "SequentialSelector",
+    "TitForTatChoker",
+    "leecher_fairness_violations",
+    "seed_service_uniformity",
+]

@@ -1,0 +1,307 @@
+"""The choke algorithm: BitTorrent's peer-selection strategy.
+
+Four interchangeable peer-selection strategies are provided, all driven by
+a 10-second round clock (paper §II-C.2):
+
+* :class:`LeecherChoker` — mainline's leecher-state algorithm: every
+  round the interested remote peers are ordered by their download rate to
+  the local peer and the 3 fastest are unchoked (*regular unchoke*, RU);
+  every 3 rounds one additional interested peer is unchoked at random
+  (*optimistic unchoke*, OU).
+* :class:`SeedChoker` — the **new** seed-state algorithm of mainline
+  ≥ 4.0.0: unchoked-and-interested peers are ordered by the time they
+  were last unchoked, most recent first; for two consecutive rounds the
+  3 most recent stay unchoked and a 4th choked-and-interested peer is
+  unchoked at random (*seed random unchoke*, SRU); on the third round the
+  4 most recent stay unchoked (*seed kept unchoked*, SKU).
+* :class:`OldSeedChoker` — the pre-4.0.0 seed-state algorithm: identical
+  to the leecher algorithm but ordered by upload rate *from* the local
+  peer, which lets fast (possibly free-riding) downloaders monopolise a
+  seed — the unfairness §IV-B.3 attributes to it.
+* :class:`TitForTatChoker` — the bit-level tit-for-tat baseline the paper
+  argues against (§IV-B.1): a peer refuses to upload to a remote whose
+  byte deficit exceeds a threshold, so excess capacity is stranded.
+
+Chokers are pure decision functions over :class:`ChokeCandidate`
+snapshots, which keeps them unit-testable without a simulator.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Hashable, List, Optional, Sequence
+
+PeerKey = Hashable
+
+
+@dataclass(frozen=True)
+class ChokeCandidate:
+    """Snapshot of one remote peer as seen at a choke round."""
+
+    key: PeerKey
+    interested: bool
+    """Whether the remote peer is interested in the local peer."""
+
+    choked: bool
+    """Whether the local peer currently chokes the remote peer."""
+
+    download_rate: float = 0.0
+    """Short-term rate remote → local (bytes/s), from the rate estimator."""
+
+    upload_rate: float = 0.0
+    """Short-term rate local → remote (bytes/s)."""
+
+    uploaded_to: float = 0.0
+    """Total bytes the local peer uploaded to this remote."""
+
+    downloaded_from: float = 0.0
+    """Total bytes the local peer downloaded from this remote."""
+
+    last_unchoked: Optional[float] = None
+    """Time the local peer last unchoked this remote, None if never."""
+
+
+@dataclass
+class ChokeDecision:
+    """The outcome of one choke round: who ends up unchoked."""
+
+    unchoked: List[PeerKey] = field(default_factory=list)
+    optimistic: Optional[PeerKey] = None
+    """The OU/SRU slot holder this round, when the algorithm has one."""
+
+    def __contains__(self, key: PeerKey) -> bool:
+        return key in self.unchoked
+
+
+class Choker(ABC):
+    """A peer-selection strategy, invoked once per 10-second round."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def round(
+        self,
+        candidates: Sequence[ChokeCandidate],
+        now: float,
+        rng: Random,
+    ) -> ChokeDecision:
+        """Decide the unchoked set for this round."""
+
+    def reset(self) -> None:
+        """Forget internal state (used on leecher→seed transitions)."""
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
+
+
+class LeecherChoker(Choker):
+    """Mainline leecher-state choke: 3 RU by download rate + 1 OU."""
+
+    name = "leecher"
+
+    def __init__(self, regular_slots: int = 3, optimistic_rounds: int = 3):
+        if regular_slots < 1:
+            raise ValueError("need at least one regular slot")
+        if optimistic_rounds < 1:
+            raise ValueError("optimistic_rounds must be >= 1")
+        self._regular_slots = regular_slots
+        self._optimistic_rounds = optimistic_rounds
+        self._round_index = 0
+        self._optimistic: Optional[PeerKey] = None
+
+    def reset(self) -> None:
+        self._round_index = 0
+        self._optimistic = None
+
+    def round(
+        self,
+        candidates: Sequence[ChokeCandidate],
+        now: float,
+        rng: Random,
+    ) -> ChokeDecision:
+        interested = [c for c in candidates if c.interested]
+        # Regular unchoke: the fastest peers *to* the local peer.  Ties are
+        # broken by key order for determinism.
+        ranked = sorted(
+            interested, key=lambda c: (-c.download_rate, _sort_key(c.key))
+        )
+        regular = [c.key for c in ranked[: self._regular_slots]]
+
+        rotate = self._round_index % self._optimistic_rounds == 0
+        self._round_index += 1
+        present = {c.key for c in interested}
+        if self._optimistic not in present:
+            self._optimistic = None  # holder left or lost interest
+        if self._optimistic in regular:
+            # The optimistic peer earned a regular slot; free the OU slot
+            # so another peer gets a chance this rotation.
+            self._optimistic = None
+            rotate = True
+        if rotate or self._optimistic is None:
+            pool = [c.key for c in interested if c.key not in regular]
+            self._optimistic = rng.choice(pool) if pool else None
+
+        unchoked = list(regular)
+        if self._optimistic is not None:
+            unchoked.append(self._optimistic)
+        return ChokeDecision(unchoked=unchoked, optimistic=self._optimistic)
+
+
+class SeedChoker(Choker):
+    """The new (mainline >= 4.0.0) seed-state choke: SKU/SRU round robin.
+
+    Peers are ranked by the time they were last unchoked (most recent
+    first), *not* by any transfer rate, so every leecher gets the same
+    service time from the seed and a fast free rider cannot monopolise it.
+    Each new SRU peer takes an unchoke slot off the oldest SKU peer.
+    """
+
+    name = "seed-new"
+
+    def __init__(self, slots: int = 4, random_rounds: Sequence[int] = (0, 1)):
+        if slots < 2:
+            raise ValueError("seed choke needs at least 2 slots")
+        self._slots = slots
+        self._random_rounds = frozenset(random_rounds)
+        self._round_index = 0
+        self._last_unchoked: Dict[PeerKey, float] = {}
+
+    def reset(self) -> None:
+        self._round_index = 0
+        self._last_unchoked.clear()
+
+    def round(
+        self,
+        candidates: Sequence[ChokeCandidate],
+        now: float,
+        rng: Random,
+    ) -> ChokeDecision:
+        interested = [c for c in candidates if c.interested]
+        present = {c.key for c in interested}
+        for key in list(self._last_unchoked):
+            if key not in present:
+                del self._last_unchoked[key]
+
+        # Order the currently unchoked-and-interested peers by last-unchoke
+        # time, most recently unchoked first (step 1 of §II-C.2).
+        unchoked_now = [c for c in interested if not c.choked]
+        ranked = sorted(
+            unchoked_now,
+            key=lambda c: (
+                -(self._last_unchoked.get(c.key, c.last_unchoked or 0.0)),
+                _sort_key(c.key),
+            ),
+        )
+
+        phase = self._round_index % (len(self._random_rounds) + 1)
+        self._round_index += 1
+
+        decision = ChokeDecision()
+        if phase in self._random_rounds or not ranked:
+            # Keep the 3 most recently unchoked, add one random
+            # choked-and-interested peer (the SRU peer).
+            kept = [c.key for c in ranked[: self._slots - 1]]
+            pool = [c.key for c in interested if c.choked and c.key not in kept]
+            sru = rng.choice(pool) if pool else None
+            decision.unchoked = list(kept)
+            if sru is not None:
+                decision.unchoked.append(sru)
+                decision.optimistic = sru
+                self._last_unchoked[sru] = now
+        else:
+            # Third period: keep the 4 most recently unchoked.
+            decision.unchoked = [c.key for c in ranked[: self._slots]]
+        for key in decision.unchoked:
+            self._last_unchoked.setdefault(key, now)
+        return decision
+
+
+class OldSeedChoker(Choker):
+    """Pre-4.0.0 seed-state choke: like the leecher algorithm but ordered
+    by upload rate from the local peer.
+
+    "With this algorithm, peers with a high download rate are favored
+    independently of their contribution to the torrent." (§II-C.2)
+    """
+
+    name = "seed-old"
+
+    def __init__(self, regular_slots: int = 3, optimistic_rounds: int = 3):
+        self._regular_slots = regular_slots
+        self._optimistic_rounds = optimistic_rounds
+        self._round_index = 0
+        self._optimistic: Optional[PeerKey] = None
+
+    def reset(self) -> None:
+        self._round_index = 0
+        self._optimistic = None
+
+    def round(
+        self,
+        candidates: Sequence[ChokeCandidate],
+        now: float,
+        rng: Random,
+    ) -> ChokeDecision:
+        interested = [c for c in candidates if c.interested]
+        ranked = sorted(
+            interested, key=lambda c: (-c.upload_rate, _sort_key(c.key))
+        )
+        regular = [c.key for c in ranked[: self._regular_slots]]
+        rotate = self._round_index % self._optimistic_rounds == 0
+        self._round_index += 1
+        present = {c.key for c in interested}
+        if self._optimistic not in present or self._optimistic in regular:
+            self._optimistic = None
+            rotate = True
+        if rotate or self._optimistic is None:
+            pool = [c.key for c in interested if c.key not in regular]
+            self._optimistic = rng.choice(pool) if pool else None
+        unchoked = list(regular)
+        if self._optimistic is not None:
+            unchoked.append(self._optimistic)
+        return ChokeDecision(unchoked=unchoked, optimistic=self._optimistic)
+
+
+class TitForTatChoker(Choker):
+    """Bit-level tit-for-tat baseline (§IV-B.1).
+
+    A remote peer is eligible for an unchoke slot only while the local
+    peer's byte *deficit* toward it — bytes uploaded minus bytes
+    downloaded — stays below ``deficit_threshold``.  Eligible peers are
+    ranked by download rate.  The threshold acts as a bootstrap
+    allowance; once a free rider has consumed it, it is never served
+    again, and a leecher with asymmetric (slow-upload) connectivity can
+    never download faster than its own upload rate plus the allowance —
+    precisely the behaviours the paper's two fairness criteria reject.
+    """
+
+    name = "tit-for-tat"
+
+    def __init__(self, deficit_threshold: float, slots: int = 4):
+        if deficit_threshold < 0:
+            raise ValueError("deficit_threshold must be non-negative")
+        self._threshold = deficit_threshold
+        self._slots = slots
+
+    def round(
+        self,
+        candidates: Sequence[ChokeCandidate],
+        now: float,
+        rng: Random,
+    ) -> ChokeDecision:
+        eligible = [
+            c
+            for c in candidates
+            if c.interested and (c.uploaded_to - c.downloaded_from) < self._threshold
+        ]
+        ranked = sorted(
+            eligible, key=lambda c: (-c.download_rate, _sort_key(c.key))
+        )
+        return ChokeDecision(unchoked=[c.key for c in ranked[: self._slots]])
+
+
+def _sort_key(key: PeerKey):
+    """Stable tiebreak for heterogeneous peer keys."""
+    return str(key)

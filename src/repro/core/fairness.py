@@ -1,0 +1,160 @@
+"""The paper's two fairness criteria (§IV-B.1).
+
+The paper rejects bit-level tit-for-tat fairness and proposes instead:
+
+1. **Leecher criterion** — any leecher *i* with upload speed ``U_i``
+   should get a *lower* download speed than any other leecher *j* with
+   upload speed ``U_j > U_i``: contribution orders service, but excess
+   capacity may still flow to slow contributors and even free riders.
+2. **Seed criterion** — a seed should give the *same service time* to
+   each leecher.
+
+This module turns both into measurable quantities over experiment
+outcomes; the analysis layer feeds it per-peer transfer totals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+PeerKey = Hashable
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Summary of both criteria for one experiment."""
+
+    leecher_violations: int
+    """Number of leecher pairs (i, j) with U_j > U_i but D_j < D_i."""
+
+    leecher_pairs: int
+    """Number of comparable pairs examined."""
+
+    seed_service_jain: float
+    """Jain fairness index of per-leecher service received from seeds
+    (1.0 = perfectly equal service time)."""
+
+    @property
+    def leecher_violation_ratio(self) -> float:
+        if self.leecher_pairs == 0:
+            return 0.0
+        return self.leecher_violations / self.leecher_pairs
+
+
+def leecher_fairness_violations(
+    upload_speed: Mapping[PeerKey, float],
+    download_speed: Mapping[PeerKey, float],
+    tolerance: float = 0.05,
+) -> Tuple[int, int]:
+    """Count violations of the leecher criterion.
+
+    A pair (i, j) with ``U_j > U_i`` (beyond *tolerance*, relative) counts
+    as a violation when ``D_j < D_i`` (beyond the same tolerance).
+    Returns ``(violations, comparable_pairs)``.
+    """
+    keys = sorted(upload_speed, key=str)
+    violations = 0
+    pairs = 0
+    for index, i in enumerate(keys):
+        for j in keys[index + 1 :]:
+            u_i, u_j = upload_speed[i], upload_speed[j]
+            if u_i == u_j:
+                continue
+            slow, fast = (i, j) if u_i < u_j else (j, i)
+            if upload_speed[fast] <= upload_speed[slow] * (1 + tolerance):
+                continue
+            pairs += 1
+            d_slow = download_speed.get(slow, 0.0)
+            d_fast = download_speed.get(fast, 0.0)
+            if d_fast < d_slow * (1 - tolerance):
+                violations += 1
+    return violations, pairs
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
+    values = [v for v in values if not math.isnan(v)]
+    if not values:
+        return 1.0
+    total = sum(values)
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    return (total * total) / (len(values) * square_sum)
+
+
+def seed_service_uniformity(service_bytes: Mapping[PeerKey, float]) -> float:
+    """Jain index of the per-leecher bytes served by a seed.
+
+    The new seed-state choke algorithm should push this toward 1; the old
+    rate-based one concentrates service on the fastest peers and scores
+    much lower.
+    """
+    return jain_index(list(service_bytes.values()))
+
+
+def contribution_sets(
+    totals: Mapping[PeerKey, float], set_size: int = 5, num_sets: int = 6
+) -> List[float]:
+    """The paper's figures 9/11 aggregation: rank peers by bytes received
+    from the local peer, group them in consecutive sets of ``set_size``,
+    and return each set's share of the grand total.
+
+    Peers beyond ``num_sets * set_size`` are ignored, as in the figures
+    (sets go "from black for the set containing the 5 best remote
+    downloaders, to white for the set containing the 25 to 30 best").
+    """
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], str(item[0])))
+    grand_total = sum(totals.values())
+    shares: List[float] = []
+    for set_index in range(num_sets):
+        chunk = ranked[set_index * set_size : (set_index + 1) * set_size]
+        chunk_bytes = sum(value for __, value in chunk)
+        shares.append(chunk_bytes / grand_total if grand_total > 0 else 0.0)
+    return shares
+
+
+def reciprocation_shares(
+    uploaded_to: Mapping[PeerKey, float],
+    downloaded_from: Mapping[PeerKey, float],
+    set_size: int = 5,
+    num_sets: int = 6,
+) -> Tuple[List[float], List[float]]:
+    """Figure 9's paired view: group peers by bytes *uploaded to* them,
+    then report each group's share of bytes uploaded (top graph) and of
+    bytes downloaded from leechers (bottom graph).
+
+    The same grouping is used for both directions, which is what exposes
+    reciprocation: if choke reciprocates, the black set dominates both.
+    """
+    ranked = sorted(uploaded_to.items(), key=lambda item: (-item[1], str(item[0])))
+    up_total = sum(uploaded_to.values())
+    down_total = sum(downloaded_from.get(key, 0.0) for key in uploaded_to)
+    up_shares: List[float] = []
+    down_shares: List[float] = []
+    for set_index in range(num_sets):
+        chunk = ranked[set_index * set_size : (set_index + 1) * set_size]
+        chunk_up = sum(value for __, value in chunk)
+        chunk_down = sum(downloaded_from.get(key, 0.0) for key, __ in chunk)
+        up_shares.append(chunk_up / up_total if up_total > 0 else 0.0)
+        down_shares.append(chunk_down / down_total if down_total > 0 else 0.0)
+    return up_shares, down_shares
+
+
+def fairness_report(
+    upload_speed: Mapping[PeerKey, float],
+    download_speed: Mapping[PeerKey, float],
+    seed_service: Mapping[PeerKey, float],
+    tolerance: float = 0.05,
+) -> FairnessReport:
+    """Evaluate both criteria at once."""
+    violations, pairs = leecher_fairness_violations(
+        upload_speed, download_speed, tolerance
+    )
+    return FairnessReport(
+        leecher_violations=violations,
+        leecher_pairs=pairs,
+        seed_service_jain=seed_service_uniformity(seed_service),
+    )

@@ -1,0 +1,316 @@
+"""Piece/block scheduling shared by every piece-selection strategy.
+
+The picker owns four responsibilities (paper §II-C.1):
+
+1. **Availability accounting** — the number of copies of each piece in
+   the local peer set, updated on every BITFIELD/HAVE message and on
+   every peer departure; it also derives the *rarest pieces set* metric
+   plotted in the paper's figures 3 and 6.
+2. **Random first policy** — while the local peer holds fewer than
+   ``random_first_threshold`` pieces (4 by default), new pieces are
+   chosen uniformly at random instead of by the configured strategy, so
+   a newcomer gets its first pieces (and something to reciprocate with)
+   quickly.
+3. **Strict priority** — once a block of a piece is requested, remaining
+   blocks of that piece are requested with highest priority, minimising
+   the number of partially received (hence unserveable) pieces.
+4. **End game mode** — once every missing block is either received or
+   requested, outstanding blocks are requested from *every* peer that
+   offers them, with CANCELs on receipt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.rarest_first import PieceSelector, RandomSelector
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.metainfo import BlockRef, PieceGeometry
+
+PeerKey = Hashable
+
+
+@dataclass
+class _PartialPiece:
+    """Download state of one in-progress piece.
+
+    Invariant: every block index is in exactly one of ``received``,
+    ``requested`` or ``unrequested`` (``requested`` holds in-flight blocks
+    with the set of peers asked; during end game a received block may have
+    straggler duplicates, which are dropped on receipt).
+    """
+
+    blocks: List[BlockRef]
+    received: Set[int] = field(default_factory=set)
+    requested: Dict[int, Set[PeerKey]] = field(default_factory=dict)
+    unrequested: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.received and not self.requested and not self.unrequested:
+            self.unrequested = list(range(len(self.blocks)))
+
+    def is_complete(self) -> bool:
+        return len(self.received) == len(self.blocks)
+
+    def pop_unrequested(self, peer_key: PeerKey) -> Optional[int]:
+        """Move the first unrequested block to in-flight for *peer_key*."""
+        if not self.unrequested:
+            return None
+        index = self.unrequested.pop(0)
+        self.requested[index] = {peer_key}
+        return index
+
+    def release(self, index: int) -> None:
+        """Return an in-flight block to the unrequested pool (in order)."""
+        del self.requested[index]
+        self.unrequested.append(index)
+        self.unrequested.sort()
+
+
+class PiecePicker:
+    """Block scheduler for one downloading peer."""
+
+    def __init__(
+        self,
+        geometry: PieceGeometry,
+        bitfield: Bitfield,
+        selector: PieceSelector,
+        rng: Random,
+        random_first_threshold: int = 4,
+        strict_priority: bool = True,
+        endgame_enabled: bool = True,
+    ):
+        self._geometry = geometry
+        self._bitfield = bitfield
+        self._selector = selector
+        self._random_selector = RandomSelector()
+        self._rng = rng
+        self._random_first_threshold = random_first_threshold
+        self._strict_priority = strict_priority
+        self._endgame_enabled = endgame_enabled
+        self._availability = [0] * geometry.num_pieces
+        self._active: Dict[int, _PartialPiece] = {}
+        self._endgame = False
+
+    # ------------------------------------------------------------------
+    # availability accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def availability(self) -> Sequence[int]:
+        """Copies of each piece in the local peer set (read-only view)."""
+        return tuple(self._availability)
+
+    @property
+    def selector(self) -> PieceSelector:
+        return self._selector
+
+    @property
+    def in_endgame(self) -> bool:
+        return self._endgame
+
+    def peer_joined(self, remote_bitfield: Bitfield) -> None:
+        """Account a new peer's full bitfield."""
+        for piece in remote_bitfield.have_indices():
+            self._availability[piece] += 1
+
+    def peer_left(self, remote_bitfield: Bitfield) -> None:
+        """Remove a departed peer's contribution to the counts."""
+        for piece in remote_bitfield.have_indices():
+            self._availability[piece] -= 1
+            if self._availability[piece] < 0:  # pragma: no cover - invariant
+                raise RuntimeError("negative availability for piece %d" % piece)
+
+    def remote_has(self, piece: int) -> None:
+        """Account one HAVE message."""
+        self._availability[piece] += 1
+
+    def rarest_pieces_set(self) -> Tuple[int, List[int]]:
+        """(m, pieces-with-m-copies): the paper's rarest pieces set.
+
+        Computed over every piece of the torrent, as in §II-A ("the pieces
+        that have the least number of copies in the peer set").
+        """
+        rarest_count = min(self._availability)
+        pieces = [
+            piece
+            for piece, count in enumerate(self._availability)
+            if count == rarest_count
+        ]
+        return rarest_count, pieces
+
+    # ------------------------------------------------------------------
+    # request scheduling
+    # ------------------------------------------------------------------
+
+    def next_request(
+        self, remote_bitfield: Bitfield, peer_key: PeerKey
+    ) -> Optional[BlockRef]:
+        """Choose the next block to request from the peer ``peer_key``.
+
+        Returns ``None`` when the remote offers nothing requestable.  The
+        caller is responsible for pipelining (calling repeatedly until the
+        pipeline is full or ``None`` is returned).
+        """
+        block = self._strict_priority_block(remote_bitfield, peer_key)
+        if block is not None:
+            return block
+        block = self._start_new_piece(remote_bitfield, peer_key)
+        if block is not None:
+            return block
+        if self._endgame_enabled and self._all_blocks_requested():
+            self._endgame = True
+            return self._endgame_block(remote_bitfield, peer_key)
+        return None
+
+    def _strict_priority_block(
+        self, remote_bitfield: Bitfield, peer_key: PeerKey
+    ) -> Optional[BlockRef]:
+        """First unrequested block of an already-started piece the remote has."""
+        if not self._strict_priority:
+            return None
+        for piece, partial in self._active.items():
+            if not partial.unrequested or not remote_bitfield.has(piece):
+                continue
+            block_index = partial.pop_unrequested(peer_key)
+            return partial.blocks[block_index]
+        return None
+
+    def _start_new_piece(
+        self, remote_bitfield: Bitfield, peer_key: PeerKey
+    ) -> Optional[BlockRef]:
+        candidates = [
+            piece
+            for piece in self._bitfield.pieces_only_in(remote_bitfield)
+            if piece not in self._active
+        ]
+        if not candidates:
+            # Without strict priority, fall back to any startable block of
+            # an active piece so progress is still possible.
+            if not self._strict_priority:
+                return self._any_active_block(remote_bitfield, peer_key)
+            return None
+        if self._bitfield.count < self._random_first_threshold:
+            piece = self._random_selector.select(
+                candidates, self._availability, self._rng
+            )
+        else:
+            piece = self._selector.select(candidates, self._availability, self._rng)
+        partial = _PartialPiece(blocks=self._geometry.blocks(piece))
+        self._active[piece] = partial
+        block_index = partial.pop_unrequested(peer_key)
+        return partial.blocks[block_index]
+
+    def _any_active_block(
+        self, remote_bitfield: Bitfield, peer_key: PeerKey
+    ) -> Optional[BlockRef]:
+        for piece, partial in self._active.items():
+            if not partial.unrequested or not remote_bitfield.has(piece):
+                continue
+            block_index = partial.pop_unrequested(peer_key)
+            return partial.blocks[block_index]
+        return None
+
+    def _all_blocks_requested(self) -> bool:
+        """True when every missing block is either received or in flight."""
+        for piece in self._bitfield.missing_indices():
+            partial = self._active.get(piece)
+            if partial is None or partial.unrequested:
+                return False
+        return True
+
+    def _endgame_block(
+        self, remote_bitfield: Bitfield, peer_key: PeerKey
+    ) -> Optional[BlockRef]:
+        """An in-flight block the remote offers and has not been asked for."""
+        for piece, partial in self._active.items():
+            if not remote_bitfield.has(piece):
+                continue
+            for block_index, askers in partial.requested.items():
+                if block_index in partial.received:
+                    continue
+                if peer_key not in askers:
+                    askers.add(peer_key)
+                    return partial.blocks[block_index]
+        return None
+
+    # ------------------------------------------------------------------
+    # completion and failure paths
+    # ------------------------------------------------------------------
+
+    def on_block_received(
+        self, block: BlockRef, peer_key: PeerKey
+    ) -> Tuple[bool, Set[PeerKey]]:
+        """Record a received block.
+
+        Returns ``(piece_completed, peers_to_cancel)`` where
+        ``peers_to_cancel`` is the set of *other* peers holding a duplicate
+        in-flight request for this block (end game mode) that should be
+        sent a CANCEL.
+        """
+        partial = self._active.get(block.piece)
+        if partial is None or self._bitfield.has(block.piece):
+            return False, set()  # duplicate delivery after completion
+        block_index = block.offset // self._geometry.block_size
+        if block_index in partial.received:
+            return False, set()
+        partial.received.add(block_index)
+        askers = partial.requested.pop(block_index, set())
+        askers.discard(peer_key)
+        if partial.is_complete():
+            del self._active[block.piece]
+            self._bitfield.set(block.piece)
+        return partial.is_complete(), askers
+
+    def reset_piece(self, piece: int) -> None:
+        """Discard a piece that failed its hash check (re-download it)."""
+        self._active.pop(piece, None)
+        self._bitfield.clear(piece)
+
+    def on_peer_gone(self, peer_key: PeerKey) -> List[BlockRef]:
+        """Release in-flight requests held by a departed/choking peer.
+
+        Returns the blocks that became unrequested again so the caller can
+        account them; pieces with no progress and no requests are dropped
+        from the active set (they can be restarted by any strategy pick).
+        """
+        released: List[BlockRef] = []
+        emptied: List[int] = []
+        for piece, partial in self._active.items():
+            for block_index in list(partial.requested):
+                askers = partial.requested[block_index]
+                askers.discard(peer_key)
+                if not askers:
+                    partial.release(block_index)
+                    released.append(partial.blocks[block_index])
+            if not partial.received and not partial.requested:
+                emptied.append(piece)
+        for piece in emptied:
+            del self._active[piece]
+        return released
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def active_pieces(self) -> List[int]:
+        """Indices of partially downloaded pieces (insertion order)."""
+        return list(self._active)
+
+    def pending_requests_to(self, peer_key: PeerKey) -> List[BlockRef]:
+        """Blocks currently requested from ``peer_key``."""
+        pending = []
+        for partial in self._active.values():
+            for block_index, askers in partial.requested.items():
+                if peer_key in askers:
+                    pending.append(partial.blocks[block_index])
+        return pending
+
+    def received_blocks_of(self, piece: int) -> int:
+        partial = self._active.get(piece)
+        if partial is None:
+            return self._geometry.blocks_in_piece(piece) if self._bitfield.has(piece) else 0
+        return len(partial.received)

@@ -1,0 +1,128 @@
+"""Piece-selection strategies.
+
+The strategy decides which *new* piece to start downloading, given the
+candidate pieces a remote peer offers and the local availability counts
+(copies of each piece in the local peer set).  Everything else — strict
+priority at the block level, the random-first policy, end game mode — is
+strategy-independent machinery implemented by
+:class:`repro.core.piece_picker.PiecePicker`.
+
+Strategies provided:
+
+* :class:`RarestFirstSelector` — BitTorrent's local rarest first (§II-C.1):
+  pick uniformly at random inside the rarest-pieces set;
+* :class:`RandomSelector` — uniform over all candidates (the strawman the
+  paper cites rarest first as beating [5], [9]);
+* :class:`SequentialSelector` — lowest index first (streaming-style; a
+  worst case for diversity);
+* :class:`GlobalRarestSelector` — an oracle given *true* global
+  replication counts, the "global knowledge" upper bound discussed in §I.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from random import Random
+from typing import Callable, List, Sequence
+
+
+class PieceSelector(ABC):
+    """Chooses the next piece to start among ``candidates``."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        """Return one element of *candidates*.
+
+        ``availability[piece]`` is the number of copies of ``piece``
+        currently present in the local peer set.  *candidates* is never
+        empty and contains only pieces the remote peer offers and the
+        local peer misses and has not started.
+        """
+
+    def __repr__(self) -> str:
+        return "%s()" % type(self).__name__
+
+
+class RarestFirstSelector(PieceSelector):
+    """Local rarest first: random choice within the rarest-pieces set.
+
+    "Let m be the number of copies of the rarest piece, then the index of
+    each piece with m copies in the peer set is added to the rarest pieces
+    set. [...] Each peer selects the next piece to download at random in
+    its rarest pieces set." (§II-C.1)
+    """
+
+    name = "rarest-first"
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        rarest_count = min(availability[piece] for piece in candidates)
+        rarest_set = [
+            piece for piece in candidates if availability[piece] == rarest_count
+        ]
+        return rng.choice(rarest_set)
+
+
+class RandomSelector(PieceSelector):
+    """Uniformly random piece selection."""
+
+    name = "random"
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        return rng.choice(candidates)
+
+
+class SequentialSelector(PieceSelector):
+    """Lowest-index-first selection (in-order / streaming)."""
+
+    name = "sequential"
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        return min(candidates)
+
+
+class GlobalRarestSelector(PieceSelector):
+    """Oracle strategy using true global piece-replication counts.
+
+    ``global_counts`` is a zero-argument callable returning the live count
+    of copies of each piece over the *whole torrent* — the "global
+    knowledge" assumption of the analytical studies the paper discusses
+    ([21], [25]).  The swarm provides this oracle; real clients cannot.
+    """
+
+    name = "global-rarest"
+
+    def __init__(self, global_counts: Callable[[], Sequence[int]]):
+        self._global_counts = global_counts
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        counts = self._global_counts()
+        rarest_count = min(counts[piece] for piece in candidates)
+        rarest_set = [piece for piece in candidates if counts[piece] == rarest_count]
+        return rng.choice(rarest_set)

@@ -1,0 +1,97 @@
+"""Sliding-window transfer-rate estimation.
+
+The choke algorithm ranks peers by "short term download estimations"
+(paper §IV-B.1): mainline measures the bytes moved over a recent window
+(20 seconds by default) rather than a lifetime average, so a peer that
+stops sending drops out of the regular-unchoke set within two choke
+rounds.  The estimator below keeps (timestamp, bytes) samples and expires
+them lazily.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class RateEstimator:
+    """Bytes-per-second estimate over a trailing window.
+
+    >>> estimator = RateEstimator(window=20.0)
+    >>> estimator.add(now=0.0, num_bytes=16384)
+    >>> estimator.add(now=10.0, num_bytes=16384)
+    >>> round(estimator.rate(now=10.0), 1)
+    1638.4
+    """
+
+    __slots__ = ("_window", "_samples", "_total")
+
+    def __init__(self, window: float = 20.0):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._window = window
+        self._samples: Deque[Tuple[float, float]] = deque()
+        self._total = 0.0
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    def add(self, now: float, num_bytes: float) -> None:
+        """Record *num_bytes* transferred at time *now*."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if self._samples and now < self._samples[-1][0]:
+            raise ValueError("samples must be added in non-decreasing time order")
+        self._samples.append((now, num_bytes))
+        self._total += num_bytes
+        self._expire(now)
+
+    def rate(self, now: float) -> float:
+        """Estimated transfer rate in bytes/second at time *now*.
+
+        The divisor is the full window length, matching mainline's
+        behaviour: a peer that transferred one burst long ago decays
+        toward zero as the samples age out.
+        """
+        self._expire(now)
+        return max(0.0, self._total) / self._window
+
+    def total_in_window(self, now: float) -> float:
+        """Bytes currently inside the window (mostly for tests)."""
+        self._expire(now)
+        return max(0.0, self._total)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._total = 0.0
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self._window
+        samples = self._samples
+        while samples and samples[0][0] <= horizon:
+            __, num_bytes = samples.popleft()
+            self._total -= num_bytes
+        if not samples:
+            self._total = 0.0  # clamp float drift
+
+
+class ByteCounter:
+    """Monotonic byte accounting with a paired :class:`RateEstimator`.
+
+    Connections keep one counter per direction; the choke algorithm reads
+    ``rate``, the fairness analysis reads ``total``.
+    """
+
+    __slots__ = ("total", "_estimator")
+
+    def __init__(self, window: float = 20.0):
+        self.total = 0.0
+        self._estimator = RateEstimator(window)
+
+    def add(self, now: float, num_bytes: float) -> None:
+        self.total += num_bytes
+        self._estimator.add(now, num_bytes)
+
+    def rate(self, now: float) -> float:
+        return self._estimator.rate(now)

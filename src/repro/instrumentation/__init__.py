@@ -1,0 +1,15 @@
+"""Instrumentation of the local peer.
+
+Mirrors the paper's §III-C: "a log of each BitTorrent message sent or
+received [...], a log of each state change in the choke algorithm, a log
+of the rate estimation used by the choke algorithm, and a log of
+important events (end game mode, seed state)."
+"""
+
+from repro.instrumentation.logger import (
+    Instrumentation,
+    RemotePeerRecord,
+    Snapshot,
+)
+
+__all__ = ["Instrumentation", "RemotePeerRecord", "Snapshot"]

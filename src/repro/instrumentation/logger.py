@@ -1,0 +1,434 @@
+"""The instrumented local peer's trace recorder.
+
+:class:`Instrumentation` is a :class:`~repro.sim.observer.PeerObserver`
+that reconstructs, for the peer it is attached to, everything the paper's
+analysis needs:
+
+* per-remote-peer presence intervals in the peer set, interest intervals
+  in both directions, unchoke timestamps, and byte totals split between
+  the local peer's leecher and seed states;
+* block arrival and piece completion timestamps (figures 7/8);
+* periodic snapshots of the peer-set size and of the piece-replication
+  state of the peer set (figures 2–6);
+* protocol events: end game entry, seed-state transition, hash failures,
+  choke rounds, optional rate-estimator samples.
+
+Wall-clock conventions: an interval still open when the experiment stops
+is closed at :meth:`finalize` time; analysis code therefore always sees
+closed ``(start, end)`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.choke import ChokeDecision
+from repro.protocol.messages import (
+    Bitfield as BitfieldMessage,
+    Have,
+    Interested,
+    Message,
+    NotInterested,
+    Piece,
+)
+from repro.sim.connection import Connection
+from repro.sim.observer import PeerObserver
+
+Interval = Tuple[float, float]
+
+
+@dataclass
+class Snapshot:
+    """One periodic sample of the local peer's view."""
+
+    time: float
+    peer_set_size: int
+    min_copies: int
+    mean_copies: float
+    max_copies: int
+    rarest_count: int
+    """Copies of the rarest piece in the peer set (m in §II-A)."""
+
+    rarest_set_size: int
+    """Number of pieces with exactly m copies (figures 3 and 6)."""
+
+    local_pieces: int
+    is_seed: bool
+    in_endgame: bool
+    active_partial_pieces: int = 0
+    """Pieces started but incomplete at the local peer: strict priority
+    keeps this small (partially received pieces cannot be served)."""
+
+
+@dataclass
+class _IntervalTracker:
+    """Open/closed interval bookkeeping for one boolean signal."""
+
+    intervals: List[Interval] = field(default_factory=list)
+    open_since: Optional[float] = None
+
+    def set_on(self, now: float) -> None:
+        if self.open_since is None:
+            self.open_since = now
+
+    def set_off(self, now: float) -> None:
+        if self.open_since is not None:
+            self.intervals.append((self.open_since, now))
+            self.open_since = None
+
+    def close(self, now: float) -> None:
+        self.set_off(now)
+
+    def total(self) -> float:
+        return sum(end - start for start, end in self.intervals)
+
+    def total_clipped(self, clip_start: float, clip_end: float) -> float:
+        """Total time inside [clip_start, clip_end]."""
+        total = 0.0
+        for start, end in self.intervals:
+            lo = max(start, clip_start)
+            hi = min(end, clip_end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+
+@dataclass
+class RemotePeerRecord:
+    """Everything observed about one remote peer (keyed by address)."""
+
+    address: str
+    client_id: Optional[str] = None
+    presence: _IntervalTracker = field(default_factory=_IntervalTracker)
+    local_interested_in_remote: _IntervalTracker = field(
+        default_factory=_IntervalTracker
+    )
+    remote_interested_in_local: _IntervalTracker = field(
+        default_factory=_IntervalTracker
+    )
+    unchoke_times: List[float] = field(default_factory=list)
+    """Times the local peer unchoked this remote (choked -> unchoked)."""
+
+    unchoked_rounds_leecher: int = 0
+    """Choke rounds (local in leecher state) this remote ended unchoked."""
+
+    unchoked_rounds_seed: int = 0
+    """Choke rounds (local in seed state) this remote ended unchoked.
+    Multiplied by the round period this is the *service time* the seed
+    granted the peer — the quantity the paper's seed criterion equalises."""
+
+    uploaded_leecher_state: float = 0.0
+    uploaded_seed_state: float = 0.0
+    downloaded_leecher_state: float = 0.0
+    downloaded_seed_state: float = 0.0
+    remote_seed_since: Optional[float] = None
+    """First time the remote's bitfield was observed complete, if ever."""
+
+    def total_presence(self) -> float:
+        return self.presence.total()
+
+    def was_ever_seed(self) -> bool:
+        return self.remote_seed_since is not None
+
+    def was_seed_on_arrival(self) -> bool:
+        """True when the remote already had every piece when it entered
+        the peer set — a *seed peer* in the paper's sense, as opposed to
+        a leecher that completed during the observation."""
+        if self.remote_seed_since is None:
+            return False
+        if not self.presence.intervals and self.presence.open_since is None:
+            return False
+        first_seen = (
+            self.presence.intervals[0][0]
+            if self.presence.intervals
+            else self.presence.open_since
+        )
+        return self.remote_seed_since <= first_seen + 1e-9
+
+
+@dataclass
+class _ConnectionState:
+    """Per-connection accounting helpers."""
+
+    record: RemotePeerRecord
+    opened_at: float
+    opened_in_seed_state: bool
+    marker_uploaded: Optional[float] = None
+    marker_downloaded: Optional[float] = None
+
+
+class Instrumentation(PeerObserver):
+    """Record the full local-peer trace of one experiment."""
+
+    def __init__(self, record_rates: bool = False, snapshot_interval: Optional[float] = None):
+        self.peer = None
+        self.records: Dict[str, RemotePeerRecord] = {}
+        self.block_arrivals: List[Tuple[float, int, int, int]] = []
+        self.piece_completions: List[Tuple[float, int]] = []
+        self.snapshots: List[Snapshot] = []
+        self.choke_rounds: List[Tuple[float, int]] = []
+        self.rate_samples: List[Tuple[float, str, float, float]] = []
+        self.seed_state_at: Optional[float] = None
+        self.endgame_at: Optional[float] = None
+        self.hash_failures: List[Tuple[float, int]] = []
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._record_rates = record_rates
+        self._snapshot_interval = snapshot_interval
+        self._connection_states: Dict[int, _ConnectionState] = {}
+        self._currently_unchoked: set = set()
+        self._finalized_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # attachment & sampling
+    # ------------------------------------------------------------------
+
+    def on_attached(self, peer) -> None:
+        self.peer = peer
+
+    def start_sampling(self) -> None:
+        """Begin periodic snapshots; call after the peer has joined."""
+        from repro.sim.engine import Timer  # local import avoids a cycle
+
+        interval = self._snapshot_interval or peer_snapshot_interval(self.peer)
+        Timer(self.peer.simulator, interval, self.take_snapshot)
+        self.take_snapshot()
+
+    def take_snapshot(self) -> None:
+        peer = self.peer
+        if peer is None or not peer.online:
+            return
+        availability = peer.picker.availability
+        rarest_count, rarest_pieces = peer.picker.rarest_pieces_set()
+        num_pieces = len(availability) or 1
+        self.snapshots.append(
+            Snapshot(
+                time=peer.simulator.now,
+                peer_set_size=peer.peer_set_size,
+                min_copies=min(availability) if availability else 0,
+                mean_copies=sum(availability) / num_pieces,
+                max_copies=max(availability) if availability else 0,
+                rarest_count=rarest_count,
+                rarest_set_size=len(rarest_pieces),
+                local_pieces=peer.bitfield.count,
+                is_seed=peer.is_seed,
+                in_endgame=peer.picker.in_endgame,
+                active_partial_pieces=len(peer.picker.active_pieces),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+
+    def _record_for(self, connection: Connection) -> RemotePeerRecord:
+        address = connection.remote.address
+        record = self.records.get(address)
+        if record is None:
+            record = RemotePeerRecord(address=address)
+            self.records[address] = record
+        if record.client_id is None:
+            record.client_id = connection.remote.peer_id.client_id
+        return record
+
+    def on_connection_open(self, now: float, connection: Connection) -> None:
+        record = self._record_for(connection)
+        record.presence.set_on(now)
+        self._connection_states[id(connection)] = _ConnectionState(
+            record=record,
+            opened_at=now,
+            opened_in_seed_state=self.peer.is_seed if self.peer else False,
+        )
+        if connection.remote.bitfield.is_complete() and record.remote_seed_since is None:
+            record.remote_seed_since = now
+
+    def on_connection_close(self, now: float, connection: Connection) -> None:
+        state = self._connection_states.pop(id(connection), None)
+        if state is None:
+            return
+        record = state.record
+        record.presence.set_off(now)
+        record.local_interested_in_remote.set_off(now)
+        record.remote_interested_in_local.set_off(now)
+        self._currently_unchoked.discard(connection.remote.address)
+        self._flush_bytes(state, connection)
+
+    def _flush_bytes(self, state: _ConnectionState, connection: Connection) -> None:
+        uploaded = connection.uploaded.total
+        downloaded = connection.downloaded.total
+        record = state.record
+        if state.marker_uploaded is not None:
+            record.uploaded_leecher_state += state.marker_uploaded
+            record.uploaded_seed_state += uploaded - state.marker_uploaded
+            record.downloaded_leecher_state += state.marker_downloaded or 0.0
+            record.downloaded_seed_state += downloaded - (state.marker_downloaded or 0.0)
+        elif state.opened_in_seed_state:
+            record.uploaded_seed_state += uploaded
+            record.downloaded_seed_state += downloaded
+        else:
+            record.uploaded_leecher_state += uploaded
+            record.downloaded_leecher_state += downloaded
+
+    # ------------------------------------------------------------------
+    # messages
+    # ------------------------------------------------------------------
+
+    def on_message_sent(self, now: float, connection: Connection, message: Message) -> None:
+        self.messages_sent += 1
+        record = self._record_for(connection)
+        if isinstance(message, Interested):
+            record.local_interested_in_remote.set_on(now)
+        elif isinstance(message, NotInterested):
+            record.local_interested_in_remote.set_off(now)
+
+    def on_message_received(
+        self, now: float, connection: Connection, message: Message
+    ) -> None:
+        self.messages_received += 1
+        record = self._record_for(connection)
+        if isinstance(message, Interested):
+            record.remote_interested_in_local.set_on(now)
+        elif isinstance(message, NotInterested):
+            record.remote_interested_in_local.set_off(now)
+        elif isinstance(message, (Have, BitfieldMessage)):
+            if (
+                record.remote_seed_since is None
+                and connection.remote_bitfield is not None
+            ):
+                # remote_bitfield is updated by the peer after this hook,
+                # so check completeness including the incoming message.
+                if isinstance(message, Have):
+                    missing = connection.remote_bitfield.missing
+                    if missing == 1 and not connection.remote_bitfield.has(message.piece):
+                        record.remote_seed_since = now
+                else:
+                    ones = sum(bin(byte).count("1") for byte in message.bits)
+                    if ones >= connection.remote_bitfield.num_pieces:
+                        record.remote_seed_since = now
+
+    # ------------------------------------------------------------------
+    # choke algorithm
+    # ------------------------------------------------------------------
+
+    def on_choke_round(self, now: float, decision: ChokeDecision) -> None:
+        self.choke_rounds.append((now, len(decision.unchoked)))
+        newly_unchoked = set(decision.unchoked) - self._currently_unchoked
+        for address in newly_unchoked:
+            record = self.records.get(address)
+            if record is not None:
+                record.unchoke_times.append(now)
+        local_is_seed = self.peer.is_seed if self.peer else False
+        for address in decision.unchoked:
+            record = self.records.get(address)
+            if record is None:
+                continue
+            if local_is_seed:
+                record.unchoked_rounds_seed += 1
+            else:
+                record.unchoked_rounds_leecher += 1
+        self._currently_unchoked = set(decision.unchoked)
+
+    def on_rate_sample(
+        self, now: float, connection: Connection, download_rate: float, upload_rate: float
+    ) -> None:
+        if self._record_rates:
+            self.rate_samples.append(
+                (now, connection.remote.address, download_rate, upload_rate)
+            )
+
+    # ------------------------------------------------------------------
+    # transfers & events
+    # ------------------------------------------------------------------
+
+    def on_block_received(
+        self, now: float, connection: Connection, piece: int, offset: int, length: int
+    ) -> None:
+        self.block_arrivals.append((now, piece, offset, length))
+
+    def on_piece_completed(self, now: float, piece: int) -> None:
+        self.piece_completions.append((now, piece))
+
+    def on_endgame_entered(self, now: float) -> None:
+        if self.endgame_at is None:
+            self.endgame_at = now
+
+    def on_seed_state(self, now: float) -> None:
+        self.seed_state_at = now
+        # Mark byte totals on every open connection so leecher-state and
+        # seed-state transfers can be separated (figures 9 and 11).
+        for state_key, state in self._connection_states.items():
+            connection = self._find_connection(state)
+            if connection is not None:
+                state.marker_uploaded = connection.uploaded.total
+                state.marker_downloaded = connection.downloaded.total
+
+    def _find_connection(self, state: _ConnectionState) -> Optional[Connection]:
+        if self.peer is None:
+            return None
+        return self.peer.connections.get(state.record.address)
+
+    def on_hash_failure(self, now: float, piece: int) -> None:
+        self.hash_failures.append((now, piece))
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Close every open interval and flush open-connection byte totals.
+
+        Idempotent; analysis helpers call it defensively.
+        """
+        if self.peer is None:
+            return
+        if now is None:
+            now = self.peer.simulator.now
+        if self._finalized_at == now:
+            return
+        self._finalized_at = now
+        for state in list(self._connection_states.values()):
+            record = state.record
+            record.presence.set_off(now)
+            record.local_interested_in_remote.set_off(now)
+            record.remote_interested_in_local.set_off(now)
+            connection = self._find_connection(state)
+            if connection is not None:
+                self._flush_bytes(state, connection)
+        self._connection_states.clear()
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def _seed_since(self) -> Optional[float]:
+        """When the local peer entered seed state: the observed event, or
+        its join time when it was created as a seed."""
+        if self.seed_state_at is not None:
+            return self.seed_state_at
+        if self.peer is not None and self.peer.became_seed_at is not None:
+            return max(self.peer.became_seed_at, self.peer.joined_at or 0.0)
+        return None
+
+    @property
+    def leecher_interval(self) -> Interval:
+        """The local peer's [join, became-seed-or-end] interval."""
+        start = self.peer.joined_at if self.peer else 0.0
+        end = self._seed_since
+        if end is None:
+            end = self._finalized_at or (self.peer.simulator.now if self.peer else 0.0)
+        return (start or 0.0, end)
+
+    @property
+    def seed_interval(self) -> Optional[Interval]:
+        start = self._seed_since
+        if start is None:
+            return None
+        end = self._finalized_at or (self.peer.simulator.now if self.peer else 0.0)
+        return (start, end)
+
+
+def peer_snapshot_interval(peer) -> float:
+    """Default snapshot interval, taken from the swarm configuration."""
+    return peer.swarm.config.snapshot_interval

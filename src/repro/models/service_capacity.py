@@ -1,0 +1,98 @@
+"""Yang & de Veciana's service-capacity results [25] (paper §I, §IV-A).
+
+Two facts from that paper drive the reproduction's transient-state
+analysis:
+
+* in a flash crowd the capacity of service grows **exponentially**: each
+  served copy can itself serve, so after the source pushes a piece it is
+  replicated with doubling behaviour — the reason "available pieces are
+  replicated with an exponential capacity of service but rare pieces are
+  served by the initial seed at a constant rate" (§IV-A.1);
+* the **minimum distribution time** for one content of size ``s`` from a
+  source of upload capacity ``u`` to ``n`` identical peers of capacity
+  ``b`` is ``(s/u) + log2(n) * (s/b)``-shaped: one source copy plus a
+  binary relay tree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+def flash_crowd_capacity(
+    initial_servers: int,
+    time: float,
+    service_time: float,
+) -> float:
+    """Number of peers able to serve after *time*, starting from
+    ``initial_servers``, when one service takes ``service_time``.
+
+    Pure branching growth: every completed service creates one more
+    server, so capacity doubles every ``service_time``.
+    """
+    if initial_servers < 0:
+        raise ValueError("initial_servers must be non-negative")
+    if service_time <= 0:
+        raise ValueError("service_time must be positive")
+    return initial_servers * 2.0 ** (time / service_time)
+
+
+def exponential_growth_time(
+    initial_servers: int,
+    target_servers: float,
+    service_time: float,
+) -> float:
+    """Time for the service capacity to reach ``target_servers``."""
+    if initial_servers <= 0:
+        raise ValueError("need at least one initial server")
+    if target_servers <= initial_servers:
+        return 0.0
+    return service_time * math.log2(target_servers / initial_servers)
+
+
+def minimum_distribution_time(
+    content_size: float,
+    source_upload: float,
+    peer_upload: float,
+    num_peers: int,
+    num_pieces: int = 1,
+) -> float:
+    """Lower bound on distributing the content to ``num_peers`` peers.
+
+    With the content split in ``num_pieces`` pieces and pipelined relay
+    (the benefit [25] and [6] attribute to splitting), the bound is::
+
+        content/source_upload            (the source pushes one copy)
+      + ceil(log2(n)) * piece/peer_upload  (the last piece's relay depth)
+
+    With one piece (no splitting) the whole content pays the relay
+    depth, which is why splitting is "a key improvement" (§I).
+    """
+    if content_size <= 0 or source_upload <= 0 or peer_upload <= 0:
+        raise ValueError("sizes and capacities must be positive")
+    if num_peers < 1 or num_pieces < 1:
+        raise ValueError("num_peers and num_pieces must be >= 1")
+    source_time = content_size / source_upload
+    piece_size = content_size / num_pieces
+    relay_depth = math.ceil(math.log2(num_peers)) if num_peers > 1 else 0
+    return source_time + relay_depth * piece_size / peer_upload
+
+
+def capacity_trajectory(
+    initial_servers: int,
+    duration: float,
+    service_time: float,
+    step: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """(time, capacity) samples of the branching growth."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    samples = []
+    time = 0.0
+    while time <= duration:
+        samples.append(
+            (time, flash_crowd_capacity(initial_servers, time, service_time))
+        )
+        time += step
+    return samples

@@ -1,0 +1,61 @@
+"""BitTorrent protocol substrate.
+
+This package implements, from scratch, the protocol-level building blocks
+a BitTorrent client needs:
+
+* :mod:`repro.protocol.bencode` — the bencoding codec used by .torrent
+  files and tracker responses;
+* :mod:`repro.protocol.bitfield` — the compact piece-ownership bitmap;
+* :mod:`repro.protocol.metainfo` — torrent metadata and piece/block
+  geometry (256 kB pieces split in 16 kB blocks by default);
+* :mod:`repro.protocol.messages` — all peer-wire messages with binary
+  encoding and decoding;
+* :mod:`repro.protocol.peer_id` — Azureus-style peer identifiers and the
+  (IP, client-ID) peer-identification rule of the paper's section III-D.
+"""
+
+from repro.protocol.bencode import BencodeError, bdecode, bencode
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.messages import (
+    Bitfield as BitfieldMessage,
+    Cancel,
+    Choke,
+    Handshake,
+    Have,
+    Interested,
+    KeepAlive,
+    Message,
+    NotInterested,
+    Piece,
+    Request,
+    Unchoke,
+    decode_message,
+)
+from repro.protocol.metainfo import BlockRef, Metainfo, PieceGeometry
+from repro.protocol.peer_id import PeerId, make_peer_id, parse_client_id
+
+__all__ = [
+    "BencodeError",
+    "bdecode",
+    "bencode",
+    "Bitfield",
+    "BitfieldMessage",
+    "BlockRef",
+    "Cancel",
+    "Choke",
+    "Handshake",
+    "Have",
+    "Interested",
+    "KeepAlive",
+    "Message",
+    "Metainfo",
+    "NotInterested",
+    "PeerId",
+    "Piece",
+    "PieceGeometry",
+    "Request",
+    "Unchoke",
+    "decode_message",
+    "make_peer_id",
+    "parse_client_id",
+]

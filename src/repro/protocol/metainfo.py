@@ -1,0 +1,246 @@
+"""Torrent metainfo and piece/block geometry.
+
+A torrent's content is split in *pieces* (typically 256 kB; the protocol
+only accounts for complete pieces) and each piece is split in *blocks*
+(16 kB, the transmission unit), as in the paper's section II-A.  This
+module owns that arithmetic, the SHA-1 piece digests, and the building
+and parsing of .torrent metainfo dictionaries via
+:mod:`repro.protocol.bencode`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.protocol.bencode import bdecode, bencode
+
+DEFAULT_PIECE_SIZE = 256 * 1024
+DEFAULT_BLOCK_SIZE = 16 * 1024  # 2**14, the mainline default block size
+
+
+@dataclass(frozen=True)
+class BlockRef:
+    """A block within a piece: (piece index, byte offset, length)."""
+
+    piece: int
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.piece < 0 or self.offset < 0 or self.length <= 0:
+            raise ValueError("invalid block reference %r" % (self,))
+
+
+class PieceGeometry:
+    """Pure piece/block arithmetic for a content of ``total_size`` bytes."""
+
+    def __init__(
+        self,
+        total_size: int,
+        piece_size: int = DEFAULT_PIECE_SIZE,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        if total_size <= 0:
+            raise ValueError("total_size must be positive")
+        if piece_size <= 0 or block_size <= 0:
+            raise ValueError("piece_size and block_size must be positive")
+        if block_size > piece_size:
+            raise ValueError("block_size cannot exceed piece_size")
+        self.total_size = total_size
+        self.piece_size = piece_size
+        self.block_size = block_size
+        self.num_pieces = -(-total_size // piece_size)
+
+    def piece_length(self, piece: int) -> int:
+        """Length in bytes of *piece* (the last piece may be shorter)."""
+        self._check_piece(piece)
+        if piece == self.num_pieces - 1:
+            remainder = self.total_size - piece * self.piece_size
+            return remainder
+        return self.piece_size
+
+    def blocks_in_piece(self, piece: int) -> int:
+        length = self.piece_length(piece)
+        return -(-length // self.block_size)
+
+    def blocks(self, piece: int) -> List[BlockRef]:
+        """All blocks of *piece*, in offset order."""
+        length = self.piece_length(piece)
+        refs = []
+        offset = 0
+        while offset < length:
+            block_length = min(self.block_size, length - offset)
+            refs.append(BlockRef(piece, offset, block_length))
+            offset += block_length
+        return refs
+
+    def block_ref(self, piece: int, block_index: int) -> BlockRef:
+        """The ``block_index``-th block of *piece*."""
+        length = self.piece_length(piece)
+        offset = block_index * self.block_size
+        if not 0 <= offset < length:
+            raise IndexError(
+                "block %d out of range for piece %d" % (block_index, piece)
+            )
+        return BlockRef(piece, offset, min(self.block_size, length - offset))
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(self.blocks_in_piece(piece) for piece in range(self.num_pieces))
+
+    def _check_piece(self, piece: int) -> None:
+        if not 0 <= piece < self.num_pieces:
+            raise IndexError("piece %d out of range [0, %d)" % (piece, self.num_pieces))
+
+    def __repr__(self) -> str:
+        return "PieceGeometry(size=%d, pieces=%d x %d B, blocks of %d B)" % (
+            self.total_size,
+            self.num_pieces,
+            self.piece_size,
+            self.block_size,
+        )
+
+
+class Metainfo:
+    """Torrent metadata: name, geometry, piece digests, announce URL.
+
+    Content is synthetic in this reproduction (there is no real payload on
+    disk), but the SHA-1 machinery is real: :meth:`synthetic` derives each
+    piece's bytes deterministically from (info-hash seed, piece index), so
+    hash verification on piece completion exercises the same code path a
+    real client does.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        geometry: PieceGeometry,
+        piece_hashes: List[bytes],
+        announce: str = "sim://tracker",
+    ):
+        if len(piece_hashes) != geometry.num_pieces:
+            raise ValueError(
+                "expected %d piece hashes, got %d"
+                % (geometry.num_pieces, len(piece_hashes))
+            )
+        for digest in piece_hashes:
+            if len(digest) != 20:
+                raise ValueError("piece hashes must be 20-byte SHA-1 digests")
+        self.name = name
+        self.geometry = geometry
+        self.piece_hashes = list(piece_hashes)
+        self.announce = announce
+        self.info_hash = self._compute_info_hash()
+
+    # -- synthetic content --------------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls,
+        name: str,
+        total_size: int,
+        piece_size: int = DEFAULT_PIECE_SIZE,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        announce: str = "sim://tracker",
+    ) -> "Metainfo":
+        """Build a metainfo over deterministic synthetic content."""
+        geometry = PieceGeometry(total_size, piece_size, block_size)
+        hashes = [
+            hashlib.sha1(cls._piece_payload(name, piece, geometry)).digest()
+            for piece in range(geometry.num_pieces)
+        ]
+        return cls(name, geometry, hashes, announce)
+
+    @staticmethod
+    def _piece_payload(name: str, piece: int, geometry: PieceGeometry) -> bytes:
+        """Deterministic bytes for *piece*; cheap and collision-free enough."""
+        seed = hashlib.sha1(("%s/%d" % (name, piece)).encode()).digest()
+        length = geometry.piece_length(piece)
+        repeats = -(-length // len(seed))
+        return (seed * repeats)[:length]
+
+    def piece_payload(self, piece: int) -> bytes:
+        """The synthetic content of *piece* (what a seed would serve)."""
+        return self._piece_payload(self.name, piece, self.geometry)
+
+    def verify_piece(self, piece: int, data: bytes) -> bool:
+        """SHA-1 check of a completed piece, as a real client performs."""
+        self.geometry._check_piece(piece)
+        if len(data) != self.geometry.piece_length(piece):
+            return False
+        return hashlib.sha1(data).digest() == self.piece_hashes[piece]
+
+    # -- .torrent round trip --------------------------------------------------
+
+    def _info_dict(self) -> dict:
+        return {
+            b"name": self.name.encode("utf-8"),
+            b"piece length": self.geometry.piece_size,
+            b"length": self.geometry.total_size,
+            b"pieces": b"".join(self.piece_hashes),
+        }
+
+    def _compute_info_hash(self) -> bytes:
+        return hashlib.sha1(bencode(self._info_dict())).digest()
+
+    def to_torrent_file(self) -> bytes:
+        """Serialise to .torrent (bencoded) bytes."""
+        return bencode(
+            {
+                b"announce": self.announce.encode("utf-8"),
+                b"info": self._info_dict(),
+            }
+        )
+
+    @classmethod
+    def from_torrent_file(
+        cls, data: bytes, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> "Metainfo":
+        """Parse .torrent bytes produced by :meth:`to_torrent_file`."""
+        try:
+            top = bdecode(data)
+        except Exception as exc:
+            raise ValueError("not a valid .torrent file: %s" % exc) from exc
+        if not isinstance(top, dict) or b"info" not in top:
+            raise ValueError("missing 'info' dictionary")
+        info = top[b"info"]
+        required = (b"name", b"piece length", b"length", b"pieces")
+        for key in required:
+            if key not in info:
+                raise ValueError("missing info key %r" % key)
+        pieces_blob = info[b"pieces"]
+        if len(pieces_blob) % 20:
+            raise ValueError("pieces blob is not a multiple of 20 bytes")
+        hashes = [pieces_blob[i : i + 20] for i in range(0, len(pieces_blob), 20)]
+        geometry = PieceGeometry(
+            info[b"length"], info[b"piece length"], block_size
+        )
+        announce = top.get(b"announce", b"sim://tracker").decode("utf-8")
+        return cls(info[b"name"].decode("utf-8"), geometry, hashes, announce)
+
+    def __repr__(self) -> str:
+        return "Metainfo(%r, %s)" % (self.name, self.geometry)
+
+
+def make_metainfo(
+    name: str,
+    num_pieces: int,
+    piece_size: int = DEFAULT_PIECE_SIZE,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    announce: str = "sim://tracker",
+    last_piece_size: Optional[int] = None,
+) -> Metainfo:
+    """Convenience builder specifying the piece count directly.
+
+    ``last_piece_size`` lets tests exercise a short final piece.
+    """
+    if num_pieces <= 0:
+        raise ValueError("num_pieces must be positive")
+    if last_piece_size is None:
+        last_piece_size = piece_size
+    if not 0 < last_piece_size <= piece_size:
+        raise ValueError("last_piece_size must be in (0, piece_size]")
+    total = (num_pieces - 1) * piece_size + last_piece_size
+    return Metainfo.synthetic(name, total, piece_size, block_size, announce)

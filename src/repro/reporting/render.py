@@ -1,0 +1,112 @@
+"""Terminal-friendly rendering of tables and time series.
+
+The paper's figures are line plots and scatter plots; in a headless
+reproduction the same series are rendered as fixed-width tables, ASCII
+charts and sparklines, so every regenerated figure can be eyeballed in a
+terminal or a text diff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: bool = True,
+) -> str:
+    """A fixed-width table with a separator under the header.
+
+    >>> print(ascii_table(["id", "n"], [[1, 10], [2, 300]]))
+    id   n
+    -- ---
+     1  10
+     2 300
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    columns = len(headers)
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                "row has %d cells, expected %d" % (len(row), columns)
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(columns)
+    ]
+
+    def fmt(cells: Sequence[str]) -> str:
+        parts = []
+        for text, width in zip(cells, widths):
+            parts.append(text.rjust(width) if align_right else text.ljust(width))
+        return " ".join(parts).rstrip()
+
+    lines = [fmt(list(headers)), " ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return SPARK_LEVELS[0] * len(values)
+    scale = (len(SPARK_LEVELS) - 1) / (high - low)
+    return "".join(
+        SPARK_LEVELS[int(round((value - low) * scale))] for value in values
+    )
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    height: int = 12,
+    width: int = 60,
+    label: Optional[str] = None,
+) -> str:
+    """A rough scatter/line chart on a character grid.
+
+    Points are bucketed into ``width`` columns and ``height`` rows; the
+    y-axis shows min/max, the x-axis first/last.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if height < 2 or width < 2:
+        raise ValueError("height and width must be at least 2")
+    if not xs:
+        return "(empty series)"
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid: List[List[str]] = [[" "] * width for __ in range(height)]
+    for x, y in zip(xs, ys):
+        column = int((x - x_low) / x_span * (width - 1))
+        row = int((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    left_labels = ["%10.4g" % y_high] + ["          "] * (height - 2) + [
+        "%10.4g" % y_low
+    ]
+    lines = []
+    if label:
+        lines.append(label)
+    for prefix, row in zip(left_labels, grid):
+        lines.append("%s |%s" % (prefix, "".join(row)))
+    lines.append(
+        "%s  %s%s" % (" " * 10, ("%-.6g" % x_low).ljust(width - 8), "%.6g" % x_high)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Discrete-event BitTorrent swarm simulator.
+
+This package is the substrate the paper's live-torrent experiments run on
+in this reproduction.  It provides:
+
+* :mod:`repro.sim.engine` — a deterministic discrete-event loop;
+* :mod:`repro.sim.bandwidth` — max–min fair fluid bandwidth allocation;
+* :mod:`repro.sim.config` — all protocol constants (defaults match the
+  paper's section III-C);
+* :mod:`repro.sim.connection` — per-link protocol state;
+* :mod:`repro.sim.peer` — a complete BitTorrent client;
+* :mod:`repro.sim.swarm` — scenario orchestration;
+* :mod:`repro.sim.churn` — arrival/departure processes.
+"""
+
+from repro.sim.bandwidth import Flow, max_min_allocation
+from repro.sim.config import PeerConfig, SwarmConfig
+from repro.sim.connection import Connection
+from repro.sim.engine import Simulator, Timer
+from repro.sim.peer import Peer, PeerState
+from repro.sim.swarm import Swarm, SwarmResult
+
+__all__ = [
+    "Connection",
+    "Flow",
+    "max_min_allocation",
+    "Peer",
+    "PeerConfig",
+    "PeerState",
+    "Simulator",
+    "Swarm",
+    "SwarmConfig",
+    "SwarmResult",
+    "Timer",
+]

@@ -1,0 +1,186 @@
+"""Max–min fair fluid bandwidth allocation.
+
+The paper's experiments target "peer-to-peer file replication in the
+Internet", where peers "are well connected without severe network
+bottlenecks" (§I): capacity is constrained by access links (per-peer
+upload and download caps), not by the core.  The classical fluid model for
+that regime is max–min fairness over the bipartite graph of active
+transfers, computed by progressive filling:
+
+1. every unfrozen flow grows at the same rate;
+2. the first link (an uploader's or downloader's access capacity) to
+   saturate freezes all flows through it;
+3. repeat with the remaining capacity until every flow is frozen.
+
+The implementation below runs one progressive-filling pass per simulation
+tick over the currently active flows, with per-node degree counters so
+each pass costs O(iterations x (nodes + flows)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping
+
+NodeId = Hashable
+
+
+@dataclass
+class Flow:
+    """One active transfer from ``uploader`` to ``downloader``.
+
+    ``rate`` is filled in by :func:`max_min_allocation` (bytes/second).
+    """
+
+    uploader: NodeId
+    downloader: NodeId
+    rate: float = field(default=0.0, compare=False)
+
+
+def max_min_allocation(
+    flows: List[Flow],
+    upload_capacity: Mapping[NodeId, float],
+    download_capacity: Mapping[NodeId, float],
+    epsilon: float = 1e-9,
+) -> None:
+    """Assign a max–min fair ``rate`` to every flow, in place.
+
+    ``upload_capacity`` / ``download_capacity`` map node ids to access-link
+    capacities in bytes/second.  A missing entry means unconstrained in
+    that direction (the paper's local peer has no download cap, §III-C).
+    Flows whose uploader has zero capacity get rate 0.
+    """
+    for flow in flows:
+        flow.rate = 0.0
+    if not flows:
+        return
+
+    # Node bookkeeping: residual capacity, live (unfrozen) degree, and the
+    # flow lists, all keyed by ("up"/"down", node).
+    residual: Dict[tuple, float] = {}
+    degree: Dict[tuple, int] = {}
+    node_flows: Dict[tuple, List[int]] = {}
+    flow_nodes: List[tuple] = []  # per flow: its constrained node keys
+    live: List[bool] = []
+    unfrozen_count = 0
+
+    for index, flow in enumerate(flows):
+        up_cap = upload_capacity.get(flow.uploader)
+        down_cap = download_capacity.get(flow.downloader)
+        if (up_cap is not None and up_cap <= epsilon) or (
+            down_cap is not None and down_cap <= epsilon
+        ):
+            live.append(False)
+            flow_nodes.append(())
+            continue
+        live.append(True)
+        unfrozen_count += 1
+        keys = []
+        if up_cap is not None:
+            key = ("up", flow.uploader)
+            if key not in residual:
+                residual[key] = up_cap
+                degree[key] = 0
+                node_flows[key] = []
+            degree[key] += 1
+            node_flows[key].append(index)
+            keys.append(key)
+        if down_cap is not None:
+            key = ("down", flow.downloader)
+            if key not in residual:
+                residual[key] = down_cap
+                degree[key] = 0
+                node_flows[key] = []
+            degree[key] += 1
+            node_flows[key].append(index)
+            keys.append(key)
+        flow_nodes.append(tuple(keys))
+
+    if unfrozen_count == 0:
+        return
+
+    while unfrozen_count > 0:
+        # Find the bottleneck node: smallest fair share among live nodes.
+        bottleneck_share = None
+        for key, capacity in residual.items():
+            node_degree = degree[key]
+            if node_degree == 0:
+                continue
+            share = capacity / node_degree
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+        if bottleneck_share is None:
+            # Every remaining flow is unconstrained in both directions.
+            # The model treats these as infinitely fast; callers avoid
+            # this by always giving peers finite upload capacity.
+            for index, flow in enumerate(flows):
+                if live[index]:
+                    flow.rate = float("inf")
+                    live[index] = False
+            break
+        increment = bottleneck_share
+        # Grow every unfrozen flow and charge its constrained endpoints.
+        for index, flow in enumerate(flows):
+            if not live[index]:
+                continue
+            flow.rate += increment
+            for key in flow_nodes[index]:
+                residual[key] -= increment
+        # Freeze flows through saturated nodes.
+        froze_any = False
+        for key in residual:
+            if residual[key] <= epsilon and degree[key] > 0:
+                for index in node_flows[key]:
+                    if live[index]:
+                        live[index] = False
+                        froze_any = True
+                        unfrozen_count -= 1
+                        for other_key in flow_nodes[index]:
+                            degree[other_key] -= 1
+        if not froze_any:
+            # Numerical corner: nothing saturated despite a finite share.
+            # Freeze everything at current rates to guarantee termination.
+            break
+
+
+def upload_fair_allocation(
+    flows: List[Flow],
+    upload_capacity: Mapping[NodeId, float],
+    download_capacity: Mapping[NodeId, float],
+) -> None:
+    """Fast approximate allocation for upload-constrained swarms.
+
+    Each uploader splits its capacity equally among its active flows;
+    each downloader that would exceed its own capacity scales its inbound
+    flows down proportionally.  Capacity freed by that scaling is *not*
+    redistributed (one pass), which slightly under-uses uploaders feeding
+    capped downloaders.  In the paper's regime — 20 kB/s uploads against
+    downloads of up to 1500 kB/s — the downloader cap almost never binds,
+    and this model is indistinguishable from max–min while costing O(flows).
+    """
+    per_uploader: Dict[NodeId, int] = {}
+    for flow in flows:
+        flow.rate = 0.0
+        per_uploader[flow.uploader] = per_uploader.get(flow.uploader, 0) + 1
+    inbound: Dict[NodeId, float] = {}
+    for flow in flows:
+        capacity = upload_capacity.get(flow.uploader)
+        if capacity is None:
+            capacity = float("inf")
+        flow.rate = capacity / per_uploader[flow.uploader]
+        inbound[flow.downloader] = inbound.get(flow.downloader, 0.0) + flow.rate
+    for flow in flows:
+        cap = download_capacity.get(flow.downloader)
+        if cap is None:
+            continue
+        total = inbound[flow.downloader]
+        if total > cap > 0:
+            flow.rate *= cap / total
+
+
+def allocation_summary(flows: List[Flow]) -> Dict[NodeId, float]:
+    """Total allocated upload rate per uploader (handy in tests)."""
+    totals: Dict[NodeId, float] = {}
+    for flow in flows:
+        totals[flow.uploader] = totals.get(flow.uploader, 0.0) + flow.rate
+    return totals

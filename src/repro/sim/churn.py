@@ -1,0 +1,128 @@
+"""Arrival and departure processes.
+
+Real torrents are dynamic: leechers arrive over time (flash crowds at
+torrent birth), complete and linger as seeds, sometimes abort before
+completion, and a permanent background of misbehaving "noise" peers joins
+and leaves within seconds without transferring anything (§IV-A.1 filters
+those out of the entropy computation).  This module provides those
+processes as composable generators over a :class:`~repro.sim.swarm.Swarm`.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Optional
+
+from repro.sim.config import PeerConfig
+from repro.sim.swarm import Swarm
+
+PeerConfigFactory = Callable[[Random], PeerConfig]
+
+
+def poisson_arrivals(
+    swarm: Swarm,
+    rate: float,
+    duration: float,
+    config_factory: PeerConfigFactory,
+    rng: Optional[Random] = None,
+    start: float = 0.0,
+    kwargs_factory: Optional[Callable[[], dict]] = None,
+    **add_peer_kwargs,
+) -> int:
+    """Schedule Poisson leecher arrivals at *rate* peers/second.
+
+    Returns the number of arrivals scheduled.  Each arrival gets a fresh
+    :class:`PeerConfig` from *config_factory*; *kwargs_factory* (when
+    given) produces fresh per-peer ``add_peer`` keyword arguments, so
+    stateful objects like chokers are never shared between peers.
+    """
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = rng or Random(swarm.rng.getrandbits(64))
+    count = 0
+    when = start + rng.expovariate(rate)
+    while when < start + duration:
+        config = config_factory(rng)
+        kwargs = dict(add_peer_kwargs)
+        if kwargs_factory is not None:
+            kwargs.update(kwargs_factory())
+        swarm.schedule_arrival(when - swarm.simulator.now, config=config, **kwargs)
+        count += 1
+        when += rng.expovariate(rate)
+    return count
+
+
+def flash_crowd(
+    swarm: Swarm,
+    num_peers: int,
+    config_factory: PeerConfigFactory,
+    rng: Optional[Random] = None,
+    spread: float = 60.0,
+    kwargs_factory: Optional[Callable[[], dict]] = None,
+    **add_peer_kwargs,
+) -> int:
+    """Schedule *num_peers* arrivals uniformly inside the first *spread*
+    seconds: the torrent-birth flash crowd of [25].  *kwargs_factory*
+    produces fresh per-peer ``add_peer`` keyword arguments (selectors,
+    chokers) so stateful strategies are never shared."""
+    rng = rng or Random(swarm.rng.getrandbits(64))
+    for __ in range(num_peers):
+        delay = rng.uniform(0.0, spread)
+        config = config_factory(rng)
+        kwargs = dict(add_peer_kwargs)
+        if kwargs_factory is not None:
+            kwargs.update(kwargs_factory())
+        swarm.schedule_arrival(delay, config=config, **kwargs)
+    return num_peers
+
+
+def noise_peers(
+    swarm: Swarm,
+    count: int,
+    duration: float,
+    rng: Optional[Random] = None,
+    stay: float = 5.0,
+) -> int:
+    """Schedule *count* short-lived "noise" peers over *duration* seconds.
+
+    Each joins, stays about *stay* seconds (always under the 10-second
+    filtering threshold of §IV-A.1) and leaves without transferring:
+    their upload capacity is zero and their request pipeline never fills
+    because they are gone before any choke round unchokes them.
+    """
+    rng = rng or Random(swarm.rng.getrandbits(64))
+    for __ in range(count):
+        when = rng.uniform(0.0, duration)
+
+        def arrive(when=when) -> None:
+            config = PeerConfig(upload_capacity=0.0, client_id="-XX0001")
+            peer = swarm.add_peer(config=config)
+            swarm.simulator.schedule(
+                min(stay, max(0.5, rng.uniform(0.5, stay))), peer.leave
+            )
+
+        swarm.simulator.schedule(when, arrive)
+    return count
+
+
+def abort_downloads(
+    swarm: Swarm,
+    probability: float,
+    check_interval: float = 300.0,
+    rng: Optional[Random] = None,
+) -> None:
+    """Periodically make each incomplete leecher abort with *probability*.
+
+    Models the impatient-user departures that churn real torrents.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    rng = rng or Random(swarm.rng.getrandbits(64))
+
+    def sweep() -> None:
+        for peer in list(swarm.peers.values()):
+            if peer.online and not peer.is_seed and rng.random() < probability:
+                peer.leave()
+        swarm.simulator.schedule(check_interval, sweep)
+
+    swarm.simulator.schedule(check_interval, sweep)

@@ -1,0 +1,135 @@
+"""Simulation and peer configuration.
+
+Defaults follow the paper's section III-C (mainline 4.0.2 defaults):
+
+* maximum upload rate of the monitored client: 20 kB/s;
+* minimum peer-set size before re-contacting the tracker: 20;
+* maximum number of connections the peer may initiate: 40;
+* maximum peer-set size: 80;
+* active peer set (unchoke slots, optimistic included): 4;
+* block size: 2**14 bytes;
+* pieces downloaded before switching from random to rarest first: 4;
+* choke round period: 10 s, optimistic unchoke period: 30 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+KIB = 1024
+
+CHOKE_ROUND_SECONDS = 10.0
+OPTIMISTIC_ROUNDS = 3  # one optimistic rotation every 3 choke rounds = 30 s
+TRACKER_ANNOUNCE_SECONDS = 30.0 * 60.0
+RATE_ESTIMATOR_WINDOW_SECONDS = 20.0
+
+
+@dataclass
+class PeerConfig:
+    """Per-peer protocol parameters."""
+
+    upload_capacity: float = 20.0 * KIB
+    """Access-link upload capacity in bytes/second (paper default 20 kB/s)."""
+
+    download_capacity: Optional[float] = None
+    """Access-link download capacity in bytes/second; None = unconstrained,
+    as for the paper's monitored client."""
+
+    max_peer_set: int = 80
+    """Maximum peer-set size."""
+
+    min_peer_set: int = 20
+    """Low watermark under which the peer re-contacts the tracker."""
+
+    max_initiated: int = 40
+    """Maximum number of connections this peer may itself initiate; the
+    rest must be inbound, which keeps torrents well interconnected."""
+
+    unchoke_slots: int = 4
+    """Active-peer-set size, optimistic unchoke included."""
+
+    random_first_threshold: int = 4
+    """Pieces to download with the random-first policy before switching to
+    rarest first."""
+
+    request_pipeline_depth: int = 8
+    """Maximum outstanding block requests per connection (mainline keeps a
+    small buffer of pending requests; §II-C.1)."""
+
+    choke_interval: float = CHOKE_ROUND_SECONDS
+    optimistic_rounds: int = OPTIMISTIC_ROUNDS
+    rate_window: float = RATE_ESTIMATOR_WINDOW_SECONDS
+
+    endgame_enabled: bool = True
+    """Enable end game mode (request every missing block everywhere once
+    all blocks have been requested)."""
+
+    strict_priority: bool = True
+    """Finish partially-downloaded pieces before starting new ones."""
+
+    seeding_time: Optional[float] = None
+    """How long the peer stays as a seed after completing; None = forever."""
+
+    super_seeding: bool = False
+    """Super-seeding mode (the [3] option §IV-A.4 discusses): the seed
+    advertises an empty bitfield and reveals pieces one at a time per
+    peer, preferring the least-revealed piece, so it serves close to one
+    copy of each piece before any duplicates.  Only meaningful on a peer
+    that starts as a seed."""
+
+    client_id: str = "M4-0-2"
+    """Client identity encoded in the peer ID."""
+
+    def __post_init__(self) -> None:
+        if self.upload_capacity < 0:
+            raise ValueError("upload_capacity must be non-negative")
+        if self.download_capacity is not None and self.download_capacity <= 0:
+            raise ValueError("download_capacity must be positive or None")
+        if not 0 < self.min_peer_set <= self.max_peer_set:
+            raise ValueError("need 0 < min_peer_set <= max_peer_set")
+        if self.max_initiated <= 0 or self.unchoke_slots <= 0:
+            raise ValueError("max_initiated and unchoke_slots must be positive")
+        if self.request_pipeline_depth <= 0:
+            raise ValueError("request_pipeline_depth must be positive")
+
+
+@dataclass
+class SwarmConfig:
+    """Swarm-level simulation parameters."""
+
+    tick_interval: float = 1.0
+    """Fluid-model timestep in seconds: bandwidth is reallocated and block
+    progress advanced once per tick."""
+
+    tracker_num_want: int = 50
+    """Peers returned per tracker announce (paper §II-B)."""
+
+    announce_interval: float = TRACKER_ANNOUNCE_SECONDS
+
+    seed: int = 42
+    """Root RNG seed; every stochastic choice in a run derives from it."""
+
+    verify_piece_hashes: bool = False
+    """When True, peers materialise synthetic piece payloads and SHA-1
+    check them on completion (slow; exercised by tests and small demos)."""
+
+    snapshot_interval: float = 10.0
+    """Sampling period of instrumentation snapshots (peer-set size,
+    piece-replication curves)."""
+
+    connect_latency: float = 0.0
+    """Optional delay between deciding to connect and the handshake."""
+
+    message_latency: float = 0.0
+    """One-way control-message latency in seconds.  Zero (default) makes
+    HAVE/INTERESTED/CHOKE signalling instantaneous — the paper's setting
+    of well-connected Internet peers where signalling RTTs are tiny
+    compared to the 10 s choke rounds.  A constant positive latency
+    preserves per-link FIFO ordering."""
+
+    duration: float = 4000.0
+    """Default run length in simulated seconds."""
+
+    extra: dict = field(default_factory=dict)
+    """Free-form scenario knobs recorded alongside results."""

@@ -1,0 +1,68 @@
+"""Observation hooks for instrumented peers.
+
+The paper instruments a single mainline client and logs "each BitTorrent
+message sent or received [...], each state change in the choke algorithm,
+[...] the rate estimation used by the choke algorithm, and [...]
+important events (end game mode, seed state)" (§III-C).  The simulator
+exposes those exact points as callbacks: attach a
+:class:`repro.instrumentation.logger.Instrumentation` (or any subclass of
+:class:`PeerObserver`) to a peer to record them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.choke import ChokeDecision
+    from repro.protocol.messages import Message
+    from repro.sim.connection import Connection
+    from repro.sim.peer import Peer
+
+
+class PeerObserver:
+    """No-op base class; override the hooks you need."""
+
+    def on_attached(self, peer: "Peer") -> None:
+        """Called once when the observer is attached to *peer*."""
+
+    def on_connection_open(self, now: float, connection: "Connection") -> None:
+        """A link to a remote peer entered the peer set."""
+
+    def on_connection_close(self, now: float, connection: "Connection") -> None:
+        """A link left the peer set (either side closed it)."""
+
+    def on_message_sent(
+        self, now: float, connection: "Connection", message: "Message"
+    ) -> None:
+        """The observed peer sent *message* on *connection*."""
+
+    def on_message_received(
+        self, now: float, connection: "Connection", message: "Message"
+    ) -> None:
+        """The observed peer received *message* on *connection*."""
+
+    def on_choke_round(self, now: float, decision: "ChokeDecision") -> None:
+        """A choke round ran; *decision* is the resulting unchoked set."""
+
+    def on_rate_sample(
+        self, now: float, connection: "Connection", download_rate: float, upload_rate: float
+    ) -> None:
+        """Rate-estimator values read by the choke algorithm."""
+
+    def on_block_received(
+        self, now: float, connection: "Connection", piece: int, offset: int, length: int
+    ) -> None:
+        """A block finished downloading."""
+
+    def on_piece_completed(self, now: float, piece: int) -> None:
+        """A piece completed (and, when enabled, passed its hash check)."""
+
+    def on_endgame_entered(self, now: float) -> None:
+        """The piece picker entered end game mode."""
+
+    def on_seed_state(self, now: float) -> None:
+        """The observed peer completed the content and became a seed."""
+
+    def on_hash_failure(self, now: float, piece: int) -> None:
+        """A completed piece failed SHA-1 verification."""

@@ -1,0 +1,688 @@
+"""A complete BitTorrent client for the simulator.
+
+Each :class:`Peer` runs the full protocol described in the paper's
+section II: it maintains a peer set through the tracker, exchanges
+BITFIELD/HAVE/INTERESTED messages to keep piece-distribution knowledge
+consistent, schedules block requests through a
+:class:`repro.core.piece_picker.PiecePicker` (rarest first by default,
+with random-first, strict-priority and end-game policies), and runs a
+choke round every 10 seconds through pluggable
+:class:`repro.core.choke.Choker` strategies — the leecher algorithm and
+the new seed-state algorithm by default.
+
+Transfers are fluid: the swarm's per-tick bandwidth allocation calls
+:meth:`Peer.advance_uploads`, which turns allocated bytes into completed
+blocks and PIECE messages to the downloading side.
+"""
+
+from __future__ import annotations
+
+import enum
+from random import Random
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.choke import ChokeCandidate, Choker, LeecherChoker, SeedChoker
+from repro.core.piece_picker import PiecePicker
+from repro.core.rarest_first import PieceSelector, RarestFirstSelector
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.messages import (
+    Bitfield as BitfieldMessage,
+    Cancel,
+    Choke,
+    Have,
+    Interested,
+    Message,
+    NotInterested,
+    Piece,
+    Request,
+    Unchoke,
+)
+from repro.protocol.metainfo import BlockRef, Metainfo
+from repro.protocol.peer_id import PeerId, make_peer_id
+from repro.sim.config import PeerConfig
+from repro.sim.connection import Connection
+from repro.sim.engine import Simulator, Timer
+from repro.sim.observer import PeerObserver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.swarm import Swarm
+
+
+class PeerState(enum.Enum):
+    """Leecher (still downloading) or seed (holds every piece)."""
+
+    LEECHER = "leecher"
+    SEED = "seed"
+
+
+class Peer:
+    """One simulated BitTorrent client."""
+
+    def __init__(
+        self,
+        address: str,
+        metainfo: Metainfo,
+        config: PeerConfig,
+        simulator: Simulator,
+        swarm: "Swarm",
+        rng: Random,
+        selector: Optional[PieceSelector] = None,
+        leecher_choker: Optional[Choker] = None,
+        seed_choker: Optional[Choker] = None,
+        initial_bitfield: Optional[Bitfield] = None,
+        observer: Optional[PeerObserver] = None,
+    ):
+        self.address = address
+        self.metainfo = metainfo
+        self.config = config
+        self.simulator = simulator
+        self.swarm = swarm
+        self.rng = rng
+        self.peer_id: PeerId = make_peer_id(config.client_id, rng)
+        num_pieces = metainfo.geometry.num_pieces
+        self.bitfield = (
+            initial_bitfield.copy() if initial_bitfield else Bitfield(num_pieces)
+        )
+        self.selector = selector or RarestFirstSelector()
+        self.picker = PiecePicker(
+            metainfo.geometry,
+            self.bitfield,
+            self.selector,
+            rng,
+            random_first_threshold=config.random_first_threshold,
+            strict_priority=config.strict_priority,
+            endgame_enabled=config.endgame_enabled,
+        )
+        self.leecher_choker = leecher_choker or LeecherChoker(
+            optimistic_rounds=config.optimistic_rounds
+        )
+        self.seed_choker = seed_choker or SeedChoker(slots=config.unchoke_slots)
+        self.state = (
+            PeerState.SEED if self.bitfield.is_complete() else PeerState.LEECHER
+        )
+        self.observer = observer
+        if observer is not None:
+            observer.on_attached(self)
+
+        self.connections: Dict[str, Connection] = {}
+        self.initiated_count = 0
+        self.online = False
+        self.joined_at: Optional[float] = None
+        self.became_seed_at: Optional[float] = (
+            0.0 if self.state is PeerState.SEED else None
+        )
+        self.total_uploaded = 0.0
+        self.total_downloaded = 0.0
+        self._materialize = False  # set by swarm when hash checks are enabled
+        self._piece_buffers: Dict[int, bytearray] = {}
+        # Super-seeding (§IV-A.4): advertise nothing, reveal pieces one
+        # at a time per peer, preferring the least-revealed piece.
+        self.super_seeding = config.super_seeding and self.bitfield.is_complete()
+        self._reveal_counts: List[int] = (
+            [0] * num_pieces if self.super_seeding else []
+        )
+        self._revealed_to: Dict[str, set] = {}
+        self._active_reveal: Dict[str, int] = {}
+        self._choke_timer: Optional[Timer] = None
+        self._announce_timer: Optional[Timer] = None
+        self._last_refill = -float("inf")
+        self._was_in_endgame = False
+        self._departure_handle = None
+
+    # ------------------------------------------------------------------
+    # identity & state
+    # ------------------------------------------------------------------
+
+    @property
+    def is_seed(self) -> bool:
+        return self.state is PeerState.SEED
+
+    @property
+    def choker(self) -> Choker:
+        return self.seed_choker if self.is_seed else self.leecher_choker
+
+    @property
+    def peer_set_size(self) -> int:
+        return len(self.connections)
+
+    def __repr__(self) -> str:
+        return "Peer(%s, %s, %d/%d pieces)" % (
+            self.address,
+            self.state.value,
+            self.bitfield.count,
+            self.bitfield.num_pieces,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def join(self) -> None:
+        """Enter the torrent: announce, build the initial peer set, start
+        the choke-round and tracker-announce timers."""
+        if self.online:
+            raise RuntimeError("%s already joined" % self.address)
+        self.online = True
+        self.joined_at = self.simulator.now
+        self._materialize = self.swarm.config.verify_piece_hashes
+        addresses = self.swarm.tracker.announce(
+            self.address,
+            event="started",
+            num_want=self.swarm.config.tracker_num_want,
+            is_seed=self.is_seed,
+        )
+        for remote_address in addresses:
+            self._try_initiate(remote_address)
+        # Stagger choke rounds across the population with a random phase.
+        phase = self.rng.uniform(0.0, self.config.choke_interval)
+        self._choke_timer = Timer(
+            self.simulator,
+            self.config.choke_interval,
+            self._choke_round,
+            start_at=self.simulator.now + phase,
+        )
+        self._announce_timer = Timer(
+            self.simulator,
+            self.swarm.config.announce_interval,
+            self._periodic_announce,
+        )
+
+    def leave(self) -> None:
+        """Depart the torrent, closing every connection."""
+        if not self.online:
+            return
+        self.online = False
+        if self._choke_timer:
+            self._choke_timer.stop()
+        if self._announce_timer:
+            self._announce_timer.stop()
+        for connection in list(self.connections.values()):
+            self._close_connection(connection, notify_remote=True)
+        self.swarm.tracker.announce(
+            self.address, event="stopped", num_want=0, is_seed=self.is_seed
+        )
+        self.swarm.on_peer_left(self)
+
+    def _periodic_announce(self) -> None:
+        self.swarm.tracker.announce(
+            self.address,
+            event="",
+            num_want=0,
+            is_seed=self.is_seed,
+        )
+
+    # ------------------------------------------------------------------
+    # peer-set management
+    # ------------------------------------------------------------------
+
+    def _try_initiate(self, remote_address: str) -> bool:
+        """Attempt an outgoing connection; honours §II-B's limits.
+
+        With a positive ``connect_latency`` the handshake completes after
+        that delay, re-validating every limit at completion time."""
+        if not self._may_initiate(remote_address):
+            return False
+        latency = self.swarm.config.connect_latency
+        if latency > 0:
+            self.simulator.schedule(
+                latency, lambda: self._complete_initiate(remote_address)
+            )
+            return True
+        return self._complete_initiate(remote_address)
+
+    def _may_initiate(self, remote_address: str) -> bool:
+        if not self.online:
+            return False
+        if remote_address == self.address or remote_address in self.connections:
+            return False
+        if self.peer_set_size >= self.config.max_peer_set:
+            return False
+        if self.initiated_count >= self.config.max_initiated:
+            return False
+        return True
+
+    def _complete_initiate(self, remote_address: str) -> bool:
+        if not self._may_initiate(remote_address):
+            return False
+        remote = self.swarm.peer_by_address(remote_address)
+        if remote is None or not remote.online:
+            return False
+        if not remote._accepts_connection_from(self):
+            return False
+        self._establish(remote, initiated_by_local=True)
+        return True
+
+    def _accepts_connection_from(self, initiator: "Peer") -> bool:
+        if not self.online:
+            return False
+        if initiator.address in self.connections:
+            return False
+        if self.peer_set_size >= self.config.max_peer_set:
+            return False
+        if self.is_seed and initiator.is_seed:
+            return False  # seed-to-seed links are useless and refused
+        return True
+
+    def _establish(self, remote: "Peer", initiated_by_local: bool) -> None:
+        now = self.simulator.now
+        local_conn = Connection(
+            self, remote, now, initiated_by_local, self.config.rate_window
+        )
+        remote_conn = Connection(
+            remote, self, now, not initiated_by_local, remote.config.rate_window
+        )
+        local_conn.twin = remote_conn
+        remote_conn.twin = local_conn
+        self.connections[remote.address] = local_conn
+        remote.connections[self.address] = remote_conn
+        if initiated_by_local:
+            self.initiated_count += 1
+        else:
+            remote.initiated_count += 1
+        if self.observer:
+            self.observer.on_connection_open(now, local_conn)
+        if remote.observer:
+            remote.observer.on_connection_open(now, remote_conn)
+        # Both sides advertise their bitfield right after the handshake.
+        self._send(local_conn, BitfieldMessage(bits=self._advertised_bits()))
+        remote._send(remote_conn, BitfieldMessage(bits=remote._advertised_bits()))
+        if self.super_seeding:
+            self._reveal_next(local_conn)
+        if remote.super_seeding:
+            remote._reveal_next(remote_conn)
+
+    def _advertised_bits(self) -> bytes:
+        """The bitfield shown to new peers: empty under super-seeding."""
+        if self.super_seeding:
+            return Bitfield(self.bitfield.num_pieces).to_bytes()
+        return self.bitfield.to_bytes()
+
+    def _reveal_next(self, connection: Connection) -> None:
+        """Reveal (HAVE) one more piece to this peer: the globally least
+        revealed piece it has not been offered yet."""
+        address = connection.remote.address
+        revealed = self._revealed_to.setdefault(address, set())
+        candidates = [
+            piece
+            for piece in range(self.bitfield.num_pieces)
+            if piece not in revealed
+            and not connection.remote_bitfield.has(piece)
+        ]
+        if not candidates:
+            return
+        fewest = min(self._reveal_counts[piece] for piece in candidates)
+        pool = [
+            piece for piece in candidates if self._reveal_counts[piece] == fewest
+        ]
+        piece = self.rng.choice(pool)
+        revealed.add(piece)
+        self._reveal_counts[piece] += 1
+        self._active_reveal[address] = piece
+        self._send(connection, Have(piece=piece))
+
+    def _close_connection(self, connection: Connection, notify_remote: bool) -> None:
+        """Tear down our endpoint; optionally tell the remote to do the same."""
+        if connection.closed:
+            return
+        connection.closed = True
+        self.connections.pop(connection.remote.address, None)
+        if connection.initiated_by_local:
+            self.initiated_count -= 1
+        self.picker.peer_left(connection.remote_bitfield)
+        self.picker.on_peer_gone(connection.remote_key)
+        connection.clear_upload_queue()
+        connection.outstanding.clear()
+        self.swarm.forget_upload(connection)
+        if self.super_seeding:
+            # Reveals to a departed peer are wasted ("seed wastage") but
+            # their reveal counts stand: the piece was served or not.
+            self._revealed_to.pop(connection.remote.address, None)
+            self._active_reveal.pop(connection.remote.address, None)
+        if self.observer:
+            self.observer.on_connection_close(self.simulator.now, connection)
+        if notify_remote and connection.twin is not None:
+            connection.remote._on_remote_closed(connection.twin)
+        if self.online:
+            self._maybe_refill_peer_set()
+
+    def _on_remote_closed(self, connection: Connection) -> None:
+        self._close_connection(connection, notify_remote=False)
+
+    def _maybe_refill_peer_set(self) -> None:
+        """Re-contact the tracker when the peer set falls below the
+        low watermark (default 20, §II-B)."""
+        if self.peer_set_size >= self.config.min_peer_set:
+            return
+        now = self.simulator.now
+        if now - self._last_refill < 30.0:
+            return  # rate-limit tracker refills
+        self._last_refill = now
+        addresses = self.swarm.tracker.announce(
+            self.address,
+            event="",
+            num_want=self.swarm.config.tracker_num_want,
+            is_seed=self.is_seed,
+        )
+        for remote_address in addresses:
+            if self.peer_set_size >= self.config.max_peer_set:
+                break
+            self._try_initiate(remote_address)
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def _send(self, connection: Connection, message: Message) -> None:
+        if connection.closed:
+            return
+        if self.observer:
+            self.observer.on_message_sent(self.simulator.now, connection, message)
+        remote = connection.remote
+        twin = connection.twin
+        if twin is None or twin.closed:  # pragma: no cover - defensive
+            return
+        latency = self.swarm.config.message_latency
+        if latency > 0:
+            # Constant latency keeps per-link FIFO order (heap ties break
+            # by insertion); delivery is skipped if the link closed.
+            self.simulator.schedule(
+                latency,
+                lambda: None if twin.closed else remote._receive(twin, message),
+            )
+        else:
+            remote._receive(twin, message)
+
+    def _receive(self, connection: Connection, message: Message) -> None:
+        if connection.closed:
+            return
+        if self.observer:
+            self.observer.on_message_received(self.simulator.now, connection, message)
+        if isinstance(message, BitfieldMessage):
+            self._handle_bitfield(connection, message)
+        elif isinstance(message, Have):
+            self._handle_have(connection, message)
+        elif isinstance(message, Interested):
+            connection.peer_interested = True
+        elif isinstance(message, NotInterested):
+            connection.peer_interested = False
+        elif isinstance(message, Choke):
+            self._handle_choke(connection)
+        elif isinstance(message, Unchoke):
+            self._handle_unchoke(connection)
+        elif isinstance(message, Request):
+            self._handle_request(connection, message)
+        elif isinstance(message, Cancel):
+            self._handle_cancel(connection, message)
+        elif isinstance(message, Piece):
+            self._handle_piece(connection, message)
+
+    # -- piece-knowledge messages -----------------------------------------
+
+    def _handle_bitfield(self, connection: Connection, message: BitfieldMessage) -> None:
+        incoming = Bitfield.from_bytes(message.bits, self.bitfield.num_pieces)
+        # The bitfield replaces anything previously known on this link.
+        self.picker.peer_left(connection.remote_bitfield)
+        connection.remote_bitfield = incoming
+        self.picker.peer_joined(incoming)
+        self._update_interest(connection)
+
+    def _handle_have(self, connection: Connection, message: Have) -> None:
+        if connection.remote_bitfield.set(message.piece):
+            self.picker.remote_has(message.piece)
+        if (
+            self.super_seeding
+            and self._active_reveal.get(connection.remote.address) == message.piece
+        ):
+            # The peer finished the piece we revealed: offer it the next.
+            del self._active_reveal[connection.remote.address]
+            self._reveal_next(connection)
+        # Fast path: a HAVE can only *add* interest, and only when the
+        # announced piece is one the local peer misses.
+        if not connection.am_interested:
+            if not self.is_seed and not self.bitfield.has(message.piece):
+                connection.am_interested = True
+                self._send(connection, Interested())
+        if not connection.peer_choking and connection.am_interested:
+            self._fill_pipeline(connection)
+
+    # -- choke messages ------------------------------------------------------
+
+    def _handle_choke(self, connection: Connection) -> None:
+        connection.peer_choking = True
+        # Everything in flight on this link is lost; give the blocks back
+        # to the picker so another peer can serve them.
+        self.picker.on_peer_gone(connection.remote_key)
+        connection.outstanding.clear()
+
+    def _handle_unchoke(self, connection: Connection) -> None:
+        connection.peer_choking = False
+        if connection.am_interested:
+            self._fill_pipeline(connection)
+
+    # -- request/piece messages ----------------------------------------------
+
+    def _handle_request(self, connection: Connection, message: Request) -> None:
+        if connection.am_choking:
+            return  # requests received while choking are dropped
+        if not self.bitfield.has(message.piece):
+            return
+        if self.super_seeding and message.piece not in self._revealed_to.get(
+            connection.remote.address, ()
+        ):
+            return  # only revealed pieces are served under super-seeding
+        block = BlockRef(message.piece, message.offset, message.length)
+        if block in connection.upload_queue:
+            return
+        connection.upload_queue.append(block)
+        self.swarm.note_upload_activity(connection)
+
+    def _handle_cancel(self, connection: Connection, message: Cancel) -> None:
+        block = BlockRef(message.piece, message.offset, message.length)
+        connection.cancel_queued_block(block)
+
+    def _handle_piece(self, connection: Connection, message: Piece) -> None:
+        geometry = self.metainfo.geometry
+        block_index = message.offset // geometry.block_size
+        try:
+            block = geometry.block_ref(message.piece, block_index)
+        except IndexError:
+            return
+        connection.outstanding.discard(block)
+        if self.bitfield.has(block.piece):
+            return  # late duplicate (end game)
+        if self._materialize:
+            buffer = self._piece_buffers.setdefault(
+                block.piece, bytearray(geometry.piece_length(block.piece))
+            )
+            buffer[block.offset : block.offset + block.length] = message.data
+        completed, cancel_keys = self.picker.on_block_received(
+            block, connection.remote_key
+        )
+        if self.observer:
+            self.observer.on_block_received(
+                self.simulator.now, connection, block.piece, block.offset, block.length
+            )
+        for key in cancel_keys:
+            other = self.connections.get(key)
+            if other is not None:
+                other.outstanding.discard(block)
+                self._send(
+                    other,
+                    Cancel(piece=block.piece, offset=block.offset, length=block.length),
+                )
+        if completed:
+            self._on_piece_completed(block.piece)
+        if self.picker.in_endgame and not self._was_in_endgame:
+            self._was_in_endgame = True
+            if self.observer:
+                self.observer.on_endgame_entered(self.simulator.now)
+        if not connection.peer_choking and connection.am_interested:
+            self._fill_pipeline(connection)
+
+    def _on_piece_completed(self, piece: int) -> None:
+        now = self.simulator.now
+        if self._materialize:
+            data = bytes(self._piece_buffers.pop(piece, b""))
+            if not self.metainfo.verify_piece(piece, data):
+                if self.observer:
+                    self.observer.on_hash_failure(now, piece)
+                self.picker.reset_piece(piece)
+                return
+        if self.observer:
+            self.observer.on_piece_completed(now, piece)
+        have = Have(piece=piece)
+        for connection in list(self.connections.values()):
+            self._send(connection, have)
+            # Completing a piece can only *remove* interest; skip the
+            # bitfield scan for remotes we were not interested in anyway.
+            if connection.am_interested:
+                self._update_interest(connection)
+        self.swarm.on_piece_replicated(self, piece)
+        if self.bitfield.is_complete():
+            self._become_seed()
+
+    # ------------------------------------------------------------------
+    # interest management
+    # ------------------------------------------------------------------
+
+    def _update_interest(self, connection: Connection) -> None:
+        should_be_interested = not self.is_seed and self.bitfield.interesting_in(
+            connection.remote_bitfield
+        )
+        if should_be_interested and not connection.am_interested:
+            connection.am_interested = True
+            self._send(connection, Interested())
+            if not connection.peer_choking:
+                self._fill_pipeline(connection)
+        elif not should_be_interested and connection.am_interested:
+            connection.am_interested = False
+            self._send(connection, NotInterested())
+
+    # ------------------------------------------------------------------
+    # request pipelining
+    # ------------------------------------------------------------------
+
+    def _fill_pipeline(self, connection: Connection) -> None:
+        """Keep a small buffer of pending requests on this link (§II-C.1)."""
+        while (
+            not connection.closed
+            and connection.am_interested
+            and not connection.peer_choking
+            and len(connection.outstanding) < self.config.request_pipeline_depth
+        ):
+            block = self.picker.next_request(
+                connection.remote_bitfield, connection.remote_key
+            )
+            if block is None:
+                break
+            connection.outstanding.add(block)
+            self._send(
+                connection,
+                Request(piece=block.piece, offset=block.offset, length=block.length),
+            )
+
+    # ------------------------------------------------------------------
+    # uploads (driven by the swarm's fluid tick)
+    # ------------------------------------------------------------------
+
+    def advance_uploads(self, connection: Connection, num_bytes: float) -> None:
+        """Turn allocated bandwidth into completed blocks on *connection*."""
+        if connection.closed or num_bytes <= 0:
+            return
+        transferable = min(num_bytes, connection.queued_upload_bytes())
+        if transferable <= 0:
+            return
+        now = self.simulator.now
+        connection.uploaded.add(now, transferable)
+        self.total_uploaded += transferable
+        twin = connection.twin
+        if twin is not None and not twin.closed:
+            twin.downloaded.add(now, transferable)
+            connection.remote.total_downloaded += transferable
+        for block in connection.advance_upload(transferable):
+            data = b""
+            if connection.remote._materialize:
+                payload = self.metainfo.piece_payload(block.piece)
+                data = payload[block.offset : block.offset + block.length]
+            self._send(
+                connection,
+                Piece(piece=block.piece, offset=block.offset, data=data),
+            )
+
+    # ------------------------------------------------------------------
+    # the choke round
+    # ------------------------------------------------------------------
+
+    def _choke_round(self) -> None:
+        if not self.online:
+            return
+        now = self.simulator.now
+        candidates: List[ChokeCandidate] = []
+        for connection in self.connections.values():
+            download_rate = connection.downloaded.rate(now)
+            upload_rate = connection.uploaded.rate(now)
+            if self.observer:
+                self.observer.on_rate_sample(
+                    now, connection, download_rate, upload_rate
+                )
+            candidates.append(
+                ChokeCandidate(
+                    key=connection.remote_key,
+                    interested=connection.peer_interested,
+                    choked=connection.am_choking,
+                    download_rate=download_rate,
+                    upload_rate=upload_rate,
+                    uploaded_to=connection.uploaded.total,
+                    downloaded_from=connection.downloaded.total,
+                    last_unchoked=connection.last_unchoked_local,
+                )
+            )
+        decision = self.choker.round(candidates, now, self.rng)
+        if self.observer:
+            self.observer.on_choke_round(now, decision)
+        unchoke_set = set(decision.unchoked)
+        for connection in list(self.connections.values()):
+            if connection.remote_key in unchoke_set:
+                if connection.am_choking:
+                    connection.am_choking = False
+                    connection.last_unchoked_local = now
+                    connection.unchokes_given += 1
+                    self._send(connection, Unchoke())
+            else:
+                if not connection.am_choking:
+                    connection.am_choking = True
+                    connection.clear_upload_queue()
+                    self.swarm.forget_upload(connection)
+                    self._send(connection, Choke())
+
+    # ------------------------------------------------------------------
+    # seed transition
+    # ------------------------------------------------------------------
+
+    def _become_seed(self) -> None:
+        if self.state is PeerState.SEED:
+            return
+        self.state = PeerState.SEED
+        now = self.simulator.now
+        self.became_seed_at = now
+        self.seed_choker.reset()
+        if self.observer:
+            self.observer.on_seed_state(now)
+        self.swarm.tracker.announce(
+            self.address, event="completed", num_want=0, is_seed=True
+        )
+        # "When a leecher becomes a seed, it closes its connections to all
+        # the seeds." (§IV-A.2.b)
+        for connection in list(self.connections.values()):
+            if connection.remote_bitfield.is_complete():
+                self._close_connection(connection, notify_remote=True)
+            else:
+                # A seed is interested in nobody.
+                if connection.am_interested:
+                    connection.am_interested = False
+                    self._send(connection, NotInterested())
+        self.swarm.on_peer_completed(self)
+        if self.config.seeding_time is not None:
+            self._departure_handle = self.simulator.schedule(
+                self.config.seeding_time, self.leave
+            )

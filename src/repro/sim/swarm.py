@@ -1,0 +1,291 @@
+"""Swarm orchestration: one torrent, its tracker, and its population.
+
+The :class:`Swarm` owns the event engine, the tracker, the peer registry,
+the per-tick fluid bandwidth loop, and the global piece-replication
+oracle (used by the :class:`~repro.core.rarest_first.GlobalRarestSelector`
+baseline and by transient-state detection — real peers never see it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.choke import Choker
+from repro.core.rarest_first import PieceSelector
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.metainfo import Metainfo
+from repro.sim.bandwidth import Flow, max_min_allocation, upload_fair_allocation
+from repro.sim.config import PeerConfig, SwarmConfig
+from repro.sim.connection import Connection
+from repro.sim.engine import Simulator, Timer
+from repro.sim.observer import PeerObserver
+from repro.sim.peer import Peer
+from repro.tracker.tracker import Tracker
+
+
+@dataclass
+class SwarmResult:
+    """Aggregate outcome of one simulated experiment."""
+
+    duration: float
+    completions: Dict[str, float] = field(default_factory=dict)
+    """Peer address -> time it became a seed (download completion)."""
+
+    join_times: Dict[str, float] = field(default_factory=dict)
+    departures: Dict[str, float] = field(default_factory=dict)
+    bytes_uploaded: Dict[str, float] = field(default_factory=dict)
+    bytes_downloaded: Dict[str, float] = field(default_factory=dict)
+    bytes_moved: float = 0.0
+    """Total payload bytes transferred swarm-wide."""
+
+    capacity_seconds: float = 0.0
+    """Integral over time of the online peers' upload capacities: the
+    denominator of the utilisation metric."""
+
+    first_full_copy_at: Optional[float] = None
+    """Time at which every piece had at least 2 copies swarm-wide (the
+    initial seed finished pushing the first full copy): end of the
+    transient state."""
+
+    def download_time(self, address: str) -> Optional[float]:
+        if address not in self.completions or address not in self.join_times:
+            return None
+        return self.completions[address] - self.join_times[address]
+
+    def mean_download_time(self) -> Optional[float]:
+        times = [
+            self.download_time(address)
+            for address in self.completions
+            if self.download_time(address) is not None
+        ]
+        if not times:
+            return None
+        return sum(times) / len(times)
+
+    def utilization(self) -> Optional[float]:
+        """Fraction of the swarm's aggregate upload capacity actually
+        used: the "capacity of service utilization" of [21] that the
+        paper credits BitTorrent with keeping high."""
+        if self.capacity_seconds <= 0:
+            return None
+        return self.bytes_moved / self.capacity_seconds
+
+
+class Swarm:
+    """Builds and runs one torrent scenario."""
+
+    def __init__(self, metainfo: Metainfo, config: Optional[SwarmConfig] = None):
+        self.metainfo = metainfo
+        self.config = config or SwarmConfig()
+        self.simulator = Simulator()
+        self.rng = Random(self.config.seed)
+        self.tracker = Tracker(
+            Random(self.rng.getrandbits(64)), lambda: self.simulator.now
+        )
+        self.peers: Dict[str, Peer] = {}
+        self.result = SwarmResult(duration=0.0)
+        self._next_host = 1
+        self._upload_candidates: set = set()
+        self._flow_cache_key: Optional[frozenset] = None
+        self._flow_cache: List[Flow] = []
+        self._upload_caps: Dict[str, float] = {}
+        self._download_caps: Dict[str, float] = {}
+        # Global piece-replication oracle over ONLINE peers.
+        self.global_counts: List[int] = [0] * metainfo.geometry.num_pieces
+        self._tick_timer = Timer(
+            self.simulator,
+            self.config.tick_interval,
+            self._tick,
+            start_at=self.config.tick_interval,
+        )
+        self._on_tick_callbacks: List[Callable[[float], None]] = []
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+
+    def make_address(self) -> str:
+        host = self._next_host
+        self._next_host += 1
+        return "10.%d.%d.%d" % (host >> 16 & 0xFF, host >> 8 & 0xFF, host & 0xFF)
+
+    def add_peer(
+        self,
+        config: Optional[PeerConfig] = None,
+        address: Optional[str] = None,
+        selector: Optional[PieceSelector] = None,
+        leecher_choker: Optional[Choker] = None,
+        seed_choker: Optional[Choker] = None,
+        is_seed: bool = False,
+        initial_bitfield: Optional[Bitfield] = None,
+        observer: Optional[PeerObserver] = None,
+        join: bool = True,
+    ) -> Peer:
+        """Create a peer and (by default) have it join immediately.
+
+        ``is_seed`` gives the peer a full bitfield; ``initial_bitfield``
+        overrides it for partially pre-seeded peers (e.g. the "joined
+        with almost all pieces" clients of §IV-A.1).
+        """
+        address = address or self.make_address()
+        if address in self.peers:
+            raise ValueError("address %s already in use" % address)
+        bitfield = initial_bitfield
+        if bitfield is None and is_seed:
+            bitfield = Bitfield.full(self.metainfo.geometry.num_pieces)
+        peer = Peer(
+            address=address,
+            metainfo=self.metainfo,
+            config=config or PeerConfig(),
+            simulator=self.simulator,
+            swarm=self,
+            rng=Random(self.rng.getrandbits(64)),
+            selector=selector,
+            leecher_choker=leecher_choker,
+            seed_choker=seed_choker,
+            initial_bitfield=bitfield,
+            observer=observer,
+        )
+        self.peers[address] = peer
+        self._upload_caps[address] = peer.config.upload_capacity
+        if peer.config.download_capacity is not None:
+            self._download_caps[address] = peer.config.download_capacity
+        if join:
+            self.join_peer(peer)
+        return peer
+
+    def join_peer(self, peer: Peer) -> None:
+        """Bring a created-but-offline peer online."""
+        for piece in peer.bitfield.have_indices():
+            self.global_counts[piece] += 1
+        self.result.join_times[peer.address] = self.simulator.now
+        peer.join()
+
+    def schedule_arrival(self, delay: float, **add_peer_kwargs) -> None:
+        """Add a peer after *delay* simulated seconds."""
+        self.simulator.schedule(delay, lambda: self.add_peer(**add_peer_kwargs))
+
+    def peer_by_address(self, address: str) -> Optional[Peer]:
+        return self.peers.get(address)
+
+    # ------------------------------------------------------------------
+    # swarm-level callbacks from peers
+    # ------------------------------------------------------------------
+
+    def on_piece_replicated(self, peer: Peer, piece: int) -> None:
+        self.global_counts[piece] += 1
+        if (
+            self.result.first_full_copy_at is None
+            and min(self.global_counts) >= 2
+        ):
+            self.result.first_full_copy_at = self.simulator.now
+
+    def on_peer_completed(self, peer: Peer) -> None:
+        self.result.completions[peer.address] = self.simulator.now
+
+    def on_peer_left(self, peer: Peer) -> None:
+        for piece in peer.bitfield.have_indices():
+            self.global_counts[piece] -= 1
+        self.result.departures[peer.address] = self.simulator.now
+        self.result.bytes_uploaded[peer.address] = peer.total_uploaded
+        self.result.bytes_downloaded[peer.address] = peer.total_downloaded
+        self.peers.pop(peer.address, None)
+        self._upload_caps.pop(peer.address, None)
+        self._download_caps.pop(peer.address, None)
+
+    # ------------------------------------------------------------------
+    # fluid transfer loop
+    # ------------------------------------------------------------------
+
+    def note_upload_activity(self, connection: Connection) -> None:
+        """A connection may now have something to serve."""
+        if connection.has_active_upload():
+            self._upload_candidates.add(connection)
+
+    def forget_upload(self, connection: Connection) -> None:
+        self._upload_candidates.discard(connection)
+
+    def on_tick(self, callback: Callable[[float], None]) -> None:
+        """Register an analysis callback invoked after every fluid tick."""
+        self._on_tick_callbacks.append(callback)
+
+    def _tick(self) -> None:
+        dead = [
+            connection
+            for connection in self._upload_candidates
+            if not connection.has_active_upload()
+        ]
+        for connection in dead:
+            self._upload_candidates.discard(connection)
+        active = sorted(
+            self._upload_candidates,
+            key=lambda c: (c.local.address, c.remote.address),
+        )
+        if active:
+            key = frozenset(
+                (connection.local.address, connection.remote.address)
+                for connection in active
+            )
+            if key != self._flow_cache_key:
+                flows = [
+                    Flow(connection.local.address, connection.remote.address)
+                    for connection in active
+                ]
+                if self.config.extra.get("bandwidth_model") == "upload-fair":
+                    upload_fair_allocation(
+                        flows, self._upload_caps, self._download_caps
+                    )
+                else:
+                    max_min_allocation(flows, self._upload_caps, self._download_caps)
+                self._flow_cache_key = key
+                self._flow_cache = flows
+            dt = self.config.tick_interval
+            for connection, flow in zip(active, self._flow_cache):
+                moved = min(flow.rate * dt, connection.queued_upload_bytes())
+                connection.local.advance_uploads(connection, flow.rate * dt)
+                self.result.bytes_moved += max(0.0, moved)
+        else:
+            self._flow_cache_key = None
+            self._flow_cache = []
+        self.result.capacity_seconds += self.config.tick_interval * sum(
+            self._upload_caps.values()
+        )
+        now = self.simulator.now
+        for callback in self._on_tick_callbacks:
+            callback(now)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, duration: Optional[float] = None) -> SwarmResult:
+        """Advance the simulation by *duration* seconds (cumulative)."""
+        duration = self.config.duration if duration is None else duration
+        self.simulator.run_until(self.simulator.now + duration)
+        self.result.duration = self.simulator.now
+        for address, peer in self.peers.items():
+            self.result.bytes_uploaded[address] = peer.total_uploaded
+            self.result.bytes_downloaded[address] = peer.total_downloaded
+        return self.result
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def seeds_and_leechers(self) -> Tuple[int, int]:
+        seeds = sum(1 for peer in self.peers.values() if peer.is_seed)
+        return seeds, len(self.peers) - seeds
+
+    def min_global_copies(self) -> int:
+        """Copies of the least replicated piece across the whole torrent."""
+        return min(self.global_counts) if self.global_counts else 0
+
+    def is_transient(self) -> bool:
+        """True while some piece exists on at most one peer: the paper's
+        transient state (rare pieces present only at the initial seed)."""
+        return self.min_global_copies() <= 1
+
+    def availability_snapshot(self) -> Sequence[int]:
+        return tuple(self.global_counts)

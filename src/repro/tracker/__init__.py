@@ -1,0 +1,5 @@
+"""The simulated tracker."""
+
+from repro.tracker.tracker import Tracker, TrackerStats
+
+__all__ = ["Tracker", "TrackerStats"]

@@ -1,0 +1,87 @@
+"""Tracker: the only centralised component of BitTorrent (§II-B).
+
+The tracker keeps the set of peers currently involved in the torrent,
+hands a random subset (50 by default) to peers that announce, and
+collects the per-torrent statistics (number of seeds and leechers over
+time) the paper probes to establish transient vs. steady state.
+It is not involved in the actual distribution of the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TrackerStats:
+    """One scrape sample: (time, seeds, leechers)."""
+
+    time: float
+    seeds: int
+    leechers: int
+
+
+class Tracker:
+    """In-memory tracker for a single torrent."""
+
+    def __init__(self, rng: Random, clock: Callable[[], float]):
+        self._rng = rng
+        self._clock = clock
+        self._peers: Dict[str, bool] = {}  # address -> is_seed
+        self._history: List[TrackerStats] = []
+        self.announce_count = 0
+        self.completed_count = 0
+
+    def announce(
+        self,
+        address: str,
+        event: str,
+        num_want: int,
+        is_seed: bool,
+    ) -> List[str]:
+        """Process one announce and return up to *num_want* random peers.
+
+        ``event`` is ``"started"``, ``"stopped"``, ``"completed"`` or
+        ``""`` (the periodic keep-alive announce).  The returned list
+        never contains the requester.
+        """
+        self.announce_count += 1
+        if event == "stopped":
+            self._peers.pop(address, None)
+        else:
+            self._peers[address] = is_seed
+            if event == "completed":
+                self.completed_count += 1
+        self._record_sample()
+        if num_want <= 0:
+            return []
+        others = [peer for peer in self._peers if peer != address]
+        if len(others) <= num_want:
+            # Return a shuffled copy so initiation order is still random.
+            others = list(others)
+            self._rng.shuffle(others)
+            return others
+        return self._rng.sample(others, num_want)
+
+    def scrape(self) -> Tuple[int, int]:
+        """(seeds, leechers) currently registered."""
+        seeds = sum(1 for is_seed in self._peers.values() if is_seed)
+        return seeds, len(self._peers) - seeds
+
+    def _record_sample(self) -> None:
+        seeds, leechers = self.scrape()
+        self._history.append(TrackerStats(self._clock(), seeds, leechers))
+
+    @property
+    def history(self) -> List[TrackerStats]:
+        """Every (time, seeds, leechers) sample, one per announce."""
+        return list(self._history)
+
+    @property
+    def num_registered(self) -> int:
+        return len(self._peers)
+
+    def registered_addresses(self) -> List[str]:
+        return list(self._peers)

@@ -1,0 +1,103 @@
+"""Tracker wire format: bencoded announce responses (BEP 3 / BEP 23).
+
+Real trackers answer HTTP announces with a bencoded dictionary; the
+*compact* format (BEP 23, universally used) packs each peer into 6
+bytes: 4-byte big-endian IPv4 address + 2-byte big-endian port.  The
+simulator exchanges peer lists directly, but the wire format is part of
+the substrate a downstream user expects from a BitTorrent library, and
+the tests exercise the full round trip.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.protocol.bencode import BencodeError, bdecode, bencode
+
+DEFAULT_INTERVAL = 30 * 60  # the paper's 30-minute re-announce period
+
+
+@dataclass(frozen=True)
+class AnnounceResponse:
+    """A tracker's answer to an announce."""
+
+    interval: int
+    complete: int
+    """Number of seeds."""
+
+    incomplete: int
+    """Number of leechers."""
+
+    peers: List[Tuple[str, int]]
+    """(dotted-quad IPv4, port) pairs."""
+
+
+def pack_peers(peers: List[Tuple[str, int]]) -> bytes:
+    """BEP 23 compact peer list: 6 bytes per peer."""
+    packed = bytearray()
+    for address, port in peers:
+        if not 0 < port < 65536:
+            raise ValueError("port %d out of range" % port)
+        packed += socket.inet_aton(address)
+        packed += struct.pack(">H", port)
+    return bytes(packed)
+
+
+def unpack_peers(data: bytes) -> List[Tuple[str, int]]:
+    """Inverse of :func:`pack_peers`."""
+    if len(data) % 6:
+        raise ValueError("compact peer blob length is not a multiple of 6")
+    peers = []
+    for offset in range(0, len(data), 6):
+        address = socket.inet_ntoa(data[offset : offset + 4])
+        (port,) = struct.unpack(">H", data[offset + 4 : offset + 6])
+        peers.append((address, port))
+    return peers
+
+
+def encode_announce_response(response: AnnounceResponse) -> bytes:
+    """Bencode an announce response in compact form."""
+    return bencode(
+        {
+            b"interval": response.interval,
+            b"complete": response.complete,
+            b"incomplete": response.incomplete,
+            b"peers": pack_peers(response.peers),
+        }
+    )
+
+
+def decode_announce_response(data: bytes) -> AnnounceResponse:
+    """Parse a compact-form announce response.
+
+    Raises :class:`ValueError` on malformed input, including tracker
+    *failure responses* (dictionaries with a ``failure reason`` key).
+    """
+    try:
+        top = bdecode(data)
+    except BencodeError as exc:
+        raise ValueError("not a bencoded tracker response: %s" % exc) from exc
+    if not isinstance(top, dict):
+        raise ValueError("tracker response is not a dictionary")
+    if b"failure reason" in top:
+        raise ValueError(
+            "tracker failure: %s"
+            % top[b"failure reason"].decode("utf-8", "replace")
+        )
+    for key in (b"interval", b"peers"):
+        if key not in top:
+            raise ValueError("missing tracker response key %r" % key)
+    return AnnounceResponse(
+        interval=top[b"interval"],
+        complete=top.get(b"complete", 0),
+        incomplete=top.get(b"incomplete", 0),
+        peers=unpack_peers(top[b"peers"]),
+    )
+
+
+def encode_failure(reason: str) -> bytes:
+    """A tracker failure response."""
+    return bencode({b"failure reason": reason.encode("utf-8")})

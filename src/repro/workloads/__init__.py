@@ -1,0 +1,33 @@
+"""Workloads: the paper's 26 torrents (Table I), scaled for simulation."""
+
+from repro.workloads.capacities import (
+    CapacityClass,
+    CapacityDistribution,
+    INTERNET_2005,
+    uniform_capacity,
+)
+from repro.workloads.clients import CLIENT_MIX_2005, client_share, sample_client_id
+from repro.workloads.torrents import (
+    TABLE1,
+    ExperimentHarness,
+    TorrentScenario,
+    build_experiment,
+    scaled_copy,
+    scenario_by_id,
+)
+
+__all__ = [
+    "CLIENT_MIX_2005",
+    "CapacityClass",
+    "CapacityDistribution",
+    "ExperimentHarness",
+    "INTERNET_2005",
+    "TABLE1",
+    "TorrentScenario",
+    "scaled_copy",
+    "build_experiment",
+    "client_share",
+    "sample_client_id",
+    "scenario_by_id",
+    "uniform_capacity",
+]

@@ -1,0 +1,37 @@
+"""Shared fixtures and builders for integration tests."""
+
+from typing import Optional
+
+import pytest
+
+from repro.protocol.metainfo import make_metainfo
+from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.swarm import Swarm
+
+
+def tiny_swarm(
+    num_pieces: int = 8,
+    piece_size: int = 4 * KIB,
+    block_size: int = 1 * KIB,
+    seed: int = 7,
+    verify_hashes: bool = False,
+    name: str = "tiny",
+    swarm_config: Optional[SwarmConfig] = None,
+) -> Swarm:
+    """A small torrent with fast-to-simulate geometry."""
+    metainfo = make_metainfo(
+        name, num_pieces=num_pieces, piece_size=piece_size, block_size=block_size
+    )
+    config = swarm_config or SwarmConfig(
+        seed=seed, verify_piece_hashes=verify_hashes, snapshot_interval=5.0
+    )
+    return Swarm(metainfo, config)
+
+
+def fast_config(upload: float = 8 * KIB, download: Optional[float] = None, **kwargs):
+    return PeerConfig(upload_capacity=upload, download_capacity=download, **kwargs)
+
+
+@pytest.fixture
+def swarm():
+    return tiny_swarm()

@@ -1,0 +1,188 @@
+"""Unit and property tests for the piece-ownership bitfield."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocol.bitfield import Bitfield
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        field = Bitfield(10)
+        assert field.count == 0
+        assert field.missing == 10
+        assert field.is_empty()
+        assert not field.is_complete()
+
+    def test_set_and_has(self):
+        field = Bitfield(10)
+        assert field.set(3)
+        assert field.has(3)
+        assert not field.has(4)
+        assert field.count == 1
+
+    def test_set_idempotent(self):
+        field = Bitfield(10)
+        assert field.set(3)
+        assert not field.set(3)
+        assert field.count == 1
+
+    def test_clear(self):
+        field = Bitfield(10, have=[3])
+        assert field.clear(3)
+        assert not field.clear(3)
+        assert field.count == 0
+
+    def test_constructor_with_have(self):
+        field = Bitfield(10, have=[0, 9])
+        assert field.has(0) and field.has(9)
+        assert field.count == 2
+
+    def test_out_of_range_rejected(self):
+        field = Bitfield(10)
+        with pytest.raises(IndexError):
+            field.has(10)
+        with pytest.raises(IndexError):
+            field.set(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Bitfield(-1)
+
+    def test_zero_pieces(self):
+        field = Bitfield(0)
+        assert field.is_complete()  # vacuously: no pieces missing
+        assert field.count == 0
+
+    def test_full(self):
+        field = Bitfield.full(13)
+        assert field.is_complete()
+        assert field.count == 13
+        assert list(field.missing_indices()) == []
+
+    def test_copy_is_independent(self):
+        field = Bitfield(8, have=[1])
+        clone = field.copy()
+        clone.set(2)
+        assert not field.has(2)
+        assert clone.count == 2
+
+    def test_len_and_contains(self):
+        field = Bitfield(8, have=[2])
+        assert len(field) == 8
+        assert 2 in field
+        assert 3 not in field
+        assert 100 not in field
+
+
+class TestIteration:
+    def test_have_indices(self):
+        field = Bitfield(10, have=[9, 0, 4])
+        assert list(field.have_indices()) == [0, 4, 9]
+
+    def test_missing_indices(self):
+        field = Bitfield(4, have=[1, 2])
+        assert list(field.missing_indices()) == [0, 3]
+
+
+class TestInterest:
+    def test_interesting_when_other_has_missing_piece(self):
+        ours = Bitfield(5, have=[0])
+        theirs = Bitfield(5, have=[0, 1])
+        assert ours.interesting_in(theirs)
+
+    def test_not_interesting_when_subset(self):
+        ours = Bitfield(5, have=[0, 1])
+        theirs = Bitfield(5, have=[0])
+        assert not ours.interesting_in(theirs)
+
+    def test_not_interesting_in_equal(self):
+        ours = Bitfield(5, have=[2])
+        theirs = Bitfield(5, have=[2])
+        assert not ours.interesting_in(theirs)
+
+    def test_seed_not_interesting_in_anyone(self):
+        ours = Bitfield.full(5)
+        theirs = Bitfield(5, have=[0, 1, 2, 3])
+        assert not ours.interesting_in(theirs)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Bitfield(5).interesting_in(Bitfield(6))
+
+    def test_pieces_only_in(self):
+        ours = Bitfield(6, have=[0, 2])
+        theirs = Bitfield(6, have=[0, 1, 5])
+        assert list(ours.pieces_only_in(theirs)) == [1, 5]
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        field = Bitfield(12, have=[0, 5, 11])
+        recovered = Bitfield.from_bytes(field.to_bytes(), 12)
+        assert recovered == field
+        assert recovered.count == 3
+
+    def test_msb_first_bit_order(self):
+        field = Bitfield(8, have=[0])
+        assert field.to_bytes() == b"\x80"
+
+    def test_spare_bits_must_be_zero(self):
+        with pytest.raises(ValueError):
+            Bitfield.from_bytes(b"\xff", 4)  # low nibble is spare
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Bitfield.from_bytes(b"\x00\x00", 4)
+
+    def test_full_last_byte_masked(self):
+        field = Bitfield.full(9)
+        data = field.to_bytes()
+        assert data == b"\xff\x80"
+
+
+@given(st.integers(1, 200), st.data())
+def test_property_count_matches_indices(num_pieces, data):
+    have = data.draw(
+        st.lists(st.integers(0, num_pieces - 1), unique=True, max_size=num_pieces)
+    )
+    field = Bitfield(num_pieces, have=have)
+    assert field.count == len(have)
+    assert sorted(have) == list(field.have_indices())
+    assert field.count + field.missing == num_pieces
+
+
+@given(st.integers(1, 200), st.data())
+def test_property_wire_roundtrip(num_pieces, data):
+    have = data.draw(
+        st.lists(st.integers(0, num_pieces - 1), unique=True, max_size=num_pieces)
+    )
+    field = Bitfield(num_pieces, have=have)
+    assert Bitfield.from_bytes(field.to_bytes(), num_pieces) == field
+
+
+@given(st.integers(1, 100), st.data())
+def test_property_interest_antisymmetry_on_disjoint(num_pieces, data):
+    """With disjoint non-empty holdings, interest is mutual."""
+    indices = list(range(num_pieces))
+    split = data.draw(st.integers(1, max(1, num_pieces - 1)))
+    a = Bitfield(num_pieces, have=indices[:split])
+    b = Bitfield(num_pieces, have=indices[split:])
+    if a.count and b.count:
+        assert a.interesting_in(b)
+        assert b.interesting_in(a)
+
+
+@given(st.integers(1, 100), st.data())
+def test_property_interest_definition(num_pieces, data):
+    """interesting_in matches the set-theoretic definition."""
+    ours = set(
+        data.draw(st.lists(st.integers(0, num_pieces - 1), unique=True))
+    )
+    theirs = set(
+        data.draw(st.lists(st.integers(0, num_pieces - 1), unique=True))
+    )
+    a = Bitfield(num_pieces, have=ours)
+    b = Bitfield(num_pieces, have=theirs)
+    assert a.interesting_in(b) == bool(theirs - ours)
+    assert set(a.pieces_only_in(b)) == theirs - ours

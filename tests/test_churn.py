@@ -1,0 +1,148 @@
+"""Tests for churn processes and their interaction with the swarm."""
+
+from random import Random
+
+import pytest
+
+from repro.sim.churn import abort_downloads, flash_crowd, noise_peers, poisson_arrivals
+from repro.sim.config import KIB, PeerConfig
+
+from tests.conftest import fast_config, tiny_swarm
+
+
+def config_factory(rng: Random) -> PeerConfig:
+    return PeerConfig(upload_capacity=2 * KIB)
+
+
+class TestPoissonArrivals:
+    def test_arrival_count_matches_rate(self):
+        swarm = tiny_swarm()
+        count = poisson_arrivals(
+            swarm, rate=0.1, duration=1000.0, config_factory=config_factory,
+            rng=Random(4),
+        )
+        assert 60 <= count <= 140  # ~100 expected
+
+    def test_peers_materialise(self):
+        swarm = tiny_swarm()
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        scheduled = poisson_arrivals(
+            swarm, rate=0.05, duration=100.0, config_factory=config_factory,
+            rng=Random(4),
+        )
+        swarm.run(100)
+        assert len(swarm.peers) == 1 + scheduled
+
+    def test_kwargs_factory_gives_fresh_objects(self):
+        from repro.core.choke import LeecherChoker
+
+        swarm = tiny_swarm()
+        made = []
+
+        def kwargs_factory():
+            choker = LeecherChoker()
+            made.append(choker)
+            return {"leecher_choker": choker}
+
+        poisson_arrivals(
+            swarm, rate=0.1, duration=100.0, config_factory=config_factory,
+            rng=Random(4), kwargs_factory=kwargs_factory,
+        )
+        swarm.run(100)
+        chokers = [peer.leecher_choker for peer in swarm.peers.values()]
+        assert len(set(map(id, chokers))) == len(chokers)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(
+                tiny_swarm(), rate=0.0, duration=10.0, config_factory=config_factory
+            )
+
+
+class TestFlashCrowd:
+    def test_all_arrive_within_spread(self):
+        swarm = tiny_swarm()
+        flash_crowd(swarm, 20, config_factory, rng=Random(2), spread=30.0)
+        swarm.run(30)
+        assert len(swarm.peers) == 20
+
+    def test_none_before_start(self):
+        swarm = tiny_swarm()
+        flash_crowd(swarm, 20, config_factory, rng=Random(2), spread=30.0)
+        assert len(swarm.peers) == 0
+
+
+class TestNoisePeers:
+    def test_noise_peers_come_and_go(self):
+        swarm = tiny_swarm()
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        noise_peers(swarm, count=10, duration=100.0, rng=Random(3), stay=5.0)
+        swarm.run(200)
+        # All noise peers have left again.
+        assert len(swarm.peers) == 1
+        assert len(swarm.result.departures) == 10
+
+    def test_noise_peers_filtered_from_entropy(self):
+        """§IV-A.1: peers staying under 10 s must not bias the entropy
+        characterisation."""
+        from repro.analysis.entropy import entropy_ratios
+        from repro.instrumentation import Instrumentation
+
+        swarm = tiny_swarm(num_pieces=16, seed=9)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        for __ in range(3):
+            swarm.add_peer(config=fast_config(upload=2 * KIB))
+        trace = Instrumentation()
+        swarm.add_peer(config=fast_config(upload=2 * KIB), observer=trace)
+        trace.start_sampling()
+        noise_peers(swarm, count=15, duration=300.0, rng=Random(3), stay=4.0)
+        swarm.run(600)
+        trace.finalize()
+        local_ratios, remote_ratios = entropy_ratios(trace, min_presence=10.0)
+        # 4 qualifying remotes at most (seed excluded from leecher ratios).
+        assert len(local_ratios) <= 4
+
+    def test_noise_transfers_nothing(self):
+        swarm = tiny_swarm(num_pieces=16, seed=9)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        noise_peers(swarm, count=5, duration=50.0, rng=Random(3), stay=3.0)
+        swarm.run(100)
+        for address, uploaded in swarm.result.bytes_uploaded.items():
+            if address in swarm.result.departures:
+                assert swarm.result.bytes_downloaded[address] < swarm.metainfo.geometry.piece_size
+
+
+class TestAbortDownloads:
+    def test_aborts_thin_the_population(self):
+        swarm = tiny_swarm(num_pieces=64)
+        swarm.add_peer(config=fast_config(upload=1 * KIB), is_seed=True)
+        for __ in range(10):
+            swarm.add_peer(config=fast_config(upload=1 * KIB))
+        abort_downloads(swarm, probability=0.5, check_interval=50.0, rng=Random(5))
+        swarm.run(400)
+        assert len(swarm.result.departures) > 0
+
+    def test_zero_probability_aborts_nothing(self):
+        swarm = tiny_swarm(num_pieces=8)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        for __ in range(3):
+            swarm.add_peer(config=fast_config())
+        abort_downloads(swarm, probability=0.0, check_interval=20.0, rng=Random(5))
+        swarm.run(100)
+        departed_leechers = [
+            address
+            for address in swarm.result.departures
+            if address not in swarm.result.completions
+        ]
+        assert departed_leechers == []
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            abort_downloads(tiny_swarm(), probability=1.5)
+
+    def test_seeds_never_aborted(self):
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=fast_config(), is_seed=True)
+        abort_downloads(swarm, probability=1.0, check_interval=10.0, rng=Random(5))
+        swarm.run(50)
+        assert seed.online

@@ -1,0 +1,159 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "nonsense"])
+
+
+class TestListTorrents:
+    def test_prints_26_rows(self, capsys):
+        code, out = run_cli(capsys, "list-torrents")
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == 2 + 26  # header + separator + rows
+        assert "transient" in out and "steady" in out
+
+
+class TestRunAndAnalyze:
+    @pytest.fixture(scope="class")
+    def saved_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "trace.json"
+        code = main(
+            [
+                "run",
+                "--torrent", "19",
+                "--seed", "5",
+                "--duration", "400",
+                "--save", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_run_saves_valid_json(self, saved_trace):
+        document = json.loads(saved_trace.read_text())
+        assert document["version"] == 1
+        assert document["records"]
+
+    def test_analyze_entropy(self, saved_trace, capsys):
+        code, out = run_cli(capsys, "analyze", str(saved_trace))
+        assert code == 0
+        assert "a/b" in out and "c/d" in out
+
+    def test_analyze_replication(self, saved_trace, capsys):
+        code, out = run_cli(
+            capsys, "analyze", str(saved_trace), "--figure", "replication"
+        )
+        assert code == 0
+        assert "mean" in out
+
+    def test_analyze_rarest_set(self, saved_trace, capsys):
+        code, out = run_cli(
+            capsys, "analyze", str(saved_trace), "--figure", "rarest-set"
+        )
+        assert code == 0
+        assert "rarest" in out
+
+    def test_analyze_peer_set(self, saved_trace, capsys):
+        code, out = run_cli(
+            capsys, "analyze", str(saved_trace), "--figure", "peer-set"
+        )
+        assert code == 0
+        assert "size" in out
+
+    def test_analyze_interarrival(self, saved_trace, capsys):
+        code, out = run_cli(
+            capsys, "analyze", str(saved_trace), "--figure", "interarrival",
+            "--kind", "block",
+        )
+        assert code == 0
+        assert "slowdown" in out
+
+    def test_analyze_fairness(self, saved_trace, capsys):
+        code, out = run_cli(
+            capsys, "analyze", str(saved_trace), "--figure", "fairness"
+        )
+        assert code == 0
+        assert "upload LS" in out
+
+
+class TestFigureCommand:
+    def test_figure_runs_experiment(self, capsys):
+        code, out = run_cli(
+            capsys, "figure", "entropy", "--torrent", "19",
+            "--seed", "5", "--duration", "300",
+        )
+        assert code == 0
+        assert "a/b" in out
+
+
+class TestModelCommand:
+    def test_steady_state_printed(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "model",
+            "--arrival-rate", "0.05",
+            "--upload", "4096",
+            "--content", "131072",
+            "--seed-stay", "10",
+            "--duration", "500",
+        )
+        assert code == 0
+        assert "steady state" in out
+        assert "mean download time" in out
+
+    def test_no_equilibrium_case(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "model",
+            "--arrival-rate", "0.05",
+            "--upload", "4096",
+            "--content", "131072",
+            "--seed-stay", "0",
+            "--duration", "200",
+        )
+        assert code == 0
+        assert "no finite steady state" in out
+
+
+class TestFigureVariants:
+    @pytest.fixture(scope="class")
+    def base_args(self):
+        return ["--torrent", "19", "--seed", "5", "--duration", "300"]
+
+    @pytest.mark.parametrize(
+        "figure,expect",
+        [
+            ("replication", "mean"),
+            ("rarest-set", "rarest"),
+            ("peer-set", "size"),
+            ("interarrival", "slowdown"),
+            ("fairness", "upload LS"),
+        ],
+    )
+    def test_each_live_figure_renders(self, capsys, base_args, figure, expect):
+        code, out = run_cli(capsys, "figure", figure, *base_args)
+        assert code == 0
+        assert expect in out

@@ -1,0 +1,27 @@
+"""Execute the library's docstring examples as tests."""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULE_NAMES = [
+    "repro.analysis.experiments",
+    "repro.analysis.stats",
+    "repro.core.rate_estimator",
+    "repro.protocol.bencode",
+    "repro.protocol.peer_id",
+    "repro.protocol.stream",
+    "repro.reporting.export",
+    "repro.reporting.render",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_doctests(module_name):
+    # importlib returns the real module even when a package __init__
+    # re-exports a same-named function (e.g. repro.protocol.bencode).
+    module = importlib.import_module(module_name)
+    failures, tests = doctest.testmod(module, verbose=False)
+    assert tests > 0, "expected at least one example in %s" % module_name
+    assert failures == 0

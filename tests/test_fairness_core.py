@@ -1,0 +1,166 @@
+"""Tests for the paper's two fairness criteria and figure aggregations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fairness import (
+    contribution_sets,
+    fairness_report,
+    jain_index,
+    leecher_fairness_violations,
+    reciprocation_shares,
+    seed_service_uniformity,
+)
+
+
+class TestLeecherCriterion:
+    def test_no_violation_when_ordered(self):
+        uploads = {"a": 10.0, "b": 20.0, "c": 30.0}
+        downloads = {"a": 100.0, "b": 200.0, "c": 300.0}
+        violations, pairs = leecher_fairness_violations(uploads, downloads)
+        assert violations == 0
+        assert pairs == 3
+
+    def test_violation_detected(self):
+        uploads = {"slow": 10.0, "fast": 100.0}
+        downloads = {"slow": 500.0, "fast": 50.0}
+        violations, pairs = leecher_fairness_violations(uploads, downloads)
+        assert violations == 1
+        assert pairs == 1
+
+    def test_excess_capacity_to_slow_peer_is_allowed(self):
+        """The criterion orders service, it does not forbid serving the
+        slow peer: equal downloads with unequal uploads is fine."""
+        uploads = {"slow": 10.0, "fast": 100.0}
+        downloads = {"slow": 100.0, "fast": 100.0}
+        violations, __ = leecher_fairness_violations(uploads, downloads)
+        assert violations == 0
+
+    def test_tolerance_suppresses_noise(self):
+        uploads = {"a": 100.0, "b": 103.0}
+        downloads = {"a": 200.0, "b": 198.0}
+        violations, pairs = leecher_fairness_violations(
+            uploads, downloads, tolerance=0.05
+        )
+        assert pairs == 0  # uploads within tolerance: not comparable
+
+    def test_empty(self):
+        assert leecher_fairness_violations({}, {}) == (0, 0)
+
+
+class TestJain:
+    def test_equal_values(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_index([42.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        # One peer gets everything: index = 1/n.
+        assert jain_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert jain_index([]) == 1.0
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_seed_service_uniformity(self):
+        assert seed_service_uniformity({"a": 10.0, "b": 10.0}) == pytest.approx(1.0)
+
+
+class TestContributionSets:
+    def test_shares_sum_to_at_most_one(self):
+        totals = {str(i): float(100 - i) for i in range(40)}
+        shares = contribution_sets(totals)
+        assert len(shares) == 6
+        assert sum(shares) <= 1.0 + 1e-9
+
+    def test_ranked_descending(self):
+        totals = {str(i): float(i) for i in range(30)}
+        shares = contribution_sets(totals)
+        assert shares == sorted(shares, reverse=True)
+
+    def test_concentrated_distribution(self):
+        totals = {"big%d" % i: 1000.0 for i in range(5)}
+        totals.update({"small%d" % i: 1.0 for i in range(25)})
+        shares = contribution_sets(totals)
+        assert shares[0] > 0.99
+
+    def test_uniform_distribution(self):
+        totals = {str(i): 10.0 for i in range(30)}
+        shares = contribution_sets(totals)
+        assert all(s == pytest.approx(shares[0]) for s in shares)
+
+    def test_empty(self):
+        assert contribution_sets({}) == [0.0] * 6
+
+    def test_fewer_peers_than_sets(self):
+        shares = contribution_sets({"a": 10.0})
+        assert shares[0] == pytest.approx(1.0)
+        assert shares[1:] == [0.0] * 5
+
+
+class TestReciprocationShares:
+    def test_reciprocation_alignment(self):
+        """When download mirrors upload, the top set dominates both."""
+        uploaded = {str(i): float(100 - i) for i in range(30)}
+        downloaded = {str(i): float(100 - i) for i in range(30)}
+        up_shares, down_shares = reciprocation_shares(uploaded, downloaded)
+        assert up_shares[0] == max(up_shares)
+        assert down_shares[0] == max(down_shares)
+
+    def test_no_reciprocation(self):
+        """Download concentrated on peers we never uploaded to."""
+        uploaded = {str(i): float(30 - i) for i in range(30)}
+        downloaded = {str(i): 1000.0 if i >= 25 else 0.0 for i in range(30)}
+        up_shares, down_shares = reciprocation_shares(uploaded, downloaded)
+        assert down_shares[0] == pytest.approx(0.0)
+        assert down_shares[5] == pytest.approx(1.0)
+
+    def test_grouping_follows_upload_direction(self):
+        uploaded = {"a": 100.0, "b": 1.0}
+        downloaded = {"a": 0.0, "b": 999.0}
+        up_shares, down_shares = reciprocation_shares(
+            uploaded, downloaded, set_size=1, num_sets=2
+        )
+        assert up_shares[0] == pytest.approx(100.0 / 101.0)
+        assert down_shares[0] == pytest.approx(0.0)
+
+    def test_empty(self):
+        up, down = reciprocation_shares({}, {})
+        assert up == [0.0] * 6 and down == [0.0] * 6
+
+
+class TestReport:
+    def test_combined(self):
+        report = fairness_report(
+            upload_speed={"a": 10.0, "b": 100.0},
+            download_speed={"a": 50.0, "b": 500.0},
+            seed_service={"a": 10.0, "b": 10.0},
+        )
+        assert report.leecher_violations == 0
+        assert report.seed_service_jain == pytest.approx(1.0)
+        assert report.leecher_violation_ratio == 0.0
+
+    def test_violation_ratio_with_no_pairs(self):
+        report = fairness_report({}, {}, {})
+        assert report.leecher_violation_ratio == 0.0
+
+
+@given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+def test_property_jain_bounds(values):
+    index = jain_index(values)
+    assert 0.0 < index <= 1.0 + 1e-9
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=4), st.floats(0.0, 1e6), max_size=40
+    )
+)
+def test_property_contribution_shares_bounded(totals):
+    shares = contribution_sets(totals)
+    assert len(shares) == 6
+    assert all(0.0 <= share <= 1.0 + 1e-9 for share in shares)
+    assert sum(shares) <= 1.0 + 1e-6

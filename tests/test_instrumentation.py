@@ -1,0 +1,195 @@
+"""Tests for the instrumented local peer's trace recorder."""
+
+import pytest
+
+from repro.instrumentation import Instrumentation
+from repro.instrumentation.logger import _IntervalTracker
+from repro.sim.config import KIB, PeerConfig
+
+from tests.conftest import fast_config, tiny_swarm
+
+
+def instrumented_swarm(num_pieces=8, leechers=3, seed=5, local_upload=8 * KIB):
+    swarm = tiny_swarm(num_pieces=num_pieces, seed=seed)
+    swarm.add_peer(config=fast_config(), is_seed=True)
+    for __ in range(leechers):
+        swarm.add_peer(config=fast_config(upload=2 * KIB))
+    instrumentation = Instrumentation()
+    local = swarm.add_peer(
+        config=fast_config(upload=local_upload), observer=instrumentation
+    )
+    instrumentation.start_sampling()
+    return swarm, local, instrumentation
+
+
+class TestIntervalTracker:
+    def test_basic_interval(self):
+        tracker = _IntervalTracker()
+        tracker.set_on(1.0)
+        tracker.set_off(5.0)
+        assert tracker.intervals == [(1.0, 5.0)]
+        assert tracker.total() == 4.0
+
+    def test_set_on_idempotent(self):
+        tracker = _IntervalTracker()
+        tracker.set_on(1.0)
+        tracker.set_on(2.0)
+        tracker.set_off(5.0)
+        assert tracker.total() == 4.0
+
+    def test_set_off_without_on(self):
+        tracker = _IntervalTracker()
+        tracker.set_off(5.0)
+        assert tracker.intervals == []
+
+    def test_clipping(self):
+        tracker = _IntervalTracker()
+        tracker.set_on(0.0)
+        tracker.set_off(10.0)
+        tracker.set_on(20.0)
+        tracker.set_off(30.0)
+        assert tracker.total_clipped(5.0, 25.0) == pytest.approx(10.0)
+        assert tracker.total_clipped(50.0, 60.0) == 0.0
+
+    def test_close_open_interval(self):
+        tracker = _IntervalTracker()
+        tracker.set_on(3.0)
+        tracker.close(7.0)
+        assert tracker.total() == 4.0
+
+
+class TestTraceRecording:
+    def test_records_every_remote(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(200)
+        trace.finalize()
+        assert len(trace.records) == 4  # seed + 3 leechers
+
+    def test_presence_intervals_cover_run(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(200)
+        trace.finalize()
+        for record in trace.records.values():
+            assert record.total_presence() > 0
+
+    def test_piece_completions_count(self):
+        swarm, local, trace = instrumented_swarm(num_pieces=8)
+        swarm.run(400)
+        assert len(trace.piece_completions) == 8
+        assert trace.seed_state_at is not None
+        completed_pieces = {piece for __, piece in trace.piece_completions}
+        assert completed_pieces == set(range(8))
+
+    def test_block_arrivals_sum_to_content(self):
+        swarm, local, trace = instrumented_swarm(num_pieces=8)
+        swarm.run(400)
+        total = sum(length for *__, length in trace.block_arrivals)
+        assert total == swarm.metainfo.geometry.total_size
+
+    def test_seed_state_event(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(400)
+        assert local.is_seed
+        assert trace.seed_state_at == swarm.result.completions[local.address]
+
+    def test_endgame_event(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(400)
+        assert trace.endgame_at is not None
+        assert trace.endgame_at <= trace.seed_state_at
+
+    def test_snapshots_sampled(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(100)
+        assert len(trace.snapshots) >= 10
+        for snapshot in trace.snapshots:
+            assert snapshot.min_copies <= snapshot.mean_copies <= snapshot.max_copies
+            assert snapshot.peer_set_size >= 0
+
+    def test_message_counts_positive(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(100)
+        assert trace.messages_sent > 0
+        assert trace.messages_received > 0
+
+    def test_choke_rounds_recorded(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(100)
+        assert len(trace.choke_rounds) >= 8  # one per ~10 s
+
+    def test_unchoke_times_recorded(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(300)
+        total_unchokes = sum(
+            len(record.unchoke_times) for record in trace.records.values()
+        )
+        assert total_unchokes > 0
+
+    def test_leecher_interval(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(400)
+        start, end = trace.leecher_interval
+        assert start == local.joined_at
+        assert end == trace.seed_state_at
+        seed_interval = trace.seed_interval
+        assert seed_interval is not None
+        assert seed_interval[0] == trace.seed_state_at
+
+    def test_byte_split_by_local_state(self):
+        swarm, local, trace = instrumented_swarm(num_pieces=16)
+        swarm.run(800)
+        trace.finalize()
+        uploaded_ls = sum(r.uploaded_leecher_state for r in trace.records.values())
+        uploaded_ss = sum(r.uploaded_seed_state for r in trace.records.values())
+        assert uploaded_ls + uploaded_ss == pytest.approx(local.total_uploaded)
+        downloaded = sum(
+            r.downloaded_leecher_state + r.downloaded_seed_state
+            for r in trace.records.values()
+        )
+        assert downloaded == pytest.approx(local.total_downloaded)
+
+    def test_remote_seed_detection(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(400)
+        trace.finalize()
+        seed_records = [
+            record for record in trace.records.values() if record.was_ever_seed()
+        ]
+        assert seed_records  # at least the initial seed
+
+    def test_finalize_idempotent(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(100)
+        trace.finalize()
+        first = {
+            address: record.total_presence()
+            for address, record in trace.records.items()
+        }
+        trace.finalize()
+        second = {
+            address: record.total_presence()
+            for address, record in trace.records.items()
+        }
+        assert first == second
+
+    def test_rate_samples_disabled_by_default(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(100)
+        assert trace.rate_samples == []
+
+    def test_rate_samples_recorded_when_enabled(self):
+        swarm = tiny_swarm(num_pieces=4)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        trace = Instrumentation(record_rates=True)
+        swarm.add_peer(config=fast_config(), observer=trace)
+        trace.start_sampling()
+        swarm.run(60)
+        assert len(trace.rate_samples) > 0
+        now, address, down, up = trace.rate_samples[0]
+        assert down >= 0 and up >= 0
+
+    def test_client_id_captured(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(50)
+        for record in trace.records.values():
+            assert record.client_id == "M4-0-2"

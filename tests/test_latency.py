@@ -1,0 +1,103 @@
+"""Tests for the optional control-message latency."""
+
+import pytest
+
+from repro.protocol.messages import Have
+from repro.sim.config import KIB, SwarmConfig
+
+from tests.conftest import fast_config, tiny_swarm
+
+
+def latency_swarm(latency, num_pieces=8, seed=7):
+    config = SwarmConfig(seed=seed, message_latency=latency)
+    return tiny_swarm(num_pieces=num_pieces, swarm_config=config, seed=seed)
+
+
+class TestMessageLatency:
+    def test_delivery_is_delayed(self):
+        swarm = latency_swarm(0.5)
+        seed = swarm.add_peer(config=fast_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        # Bitfields were sent at t=0 but have not arrived yet.
+        conn = leecher.connections[seed.address]
+        assert conn.remote_bitfield.count == 0
+        swarm.run(1.0)
+        assert conn.remote_bitfield.is_complete()
+
+    def test_download_still_completes(self):
+        swarm = latency_swarm(0.2)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(400)
+        assert leecher.bitfield.is_complete()
+
+    def test_fifo_order_preserved(self):
+        swarm = latency_swarm(0.5, num_pieces=8)
+        a = swarm.add_peer(config=fast_config(), is_seed=True)
+        b = swarm.add_peer(config=fast_config())
+        received = []
+        original = b._receive
+
+        def spy(connection, message):
+            if isinstance(message, Have):
+                received.append(message.piece)
+            return original(connection, message)
+
+        b._receive = spy  # type: ignore[assignment]
+        conn = a.connections[b.address]
+        for piece in range(8):
+            a._send(conn, Have(piece=piece))
+        swarm.run(1.0)
+        assert received == list(range(8))
+
+    def test_latency_slows_completion(self):
+        def completion(latency):
+            swarm = latency_swarm(latency, num_pieces=16, seed=23)
+            swarm.add_peer(config=fast_config(), is_seed=True)
+            leecher = swarm.add_peer(config=fast_config())
+            result = swarm.run(900)
+            return result.completions[leecher.address]
+
+        assert completion(0.0) <= completion(1.0)
+
+    def test_messages_to_closed_link_dropped(self):
+        swarm = latency_swarm(1.0)
+        seed = swarm.add_peer(config=fast_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        conn = seed.connections[leecher.address]
+        seed._send(conn, Have(piece=0))
+        leecher.leave()  # link closes before delivery
+        swarm.run(2.0)  # must not raise or resurrect the connection
+        assert leecher.address not in seed.connections
+
+
+class TestConnectLatency:
+    def test_handshake_delayed(self):
+        from repro.sim.config import SwarmConfig
+        config = SwarmConfig(seed=7, connect_latency=2.0)
+        swarm = tiny_swarm(num_pieces=4, swarm_config=config)
+        seed = swarm.add_peer(config=fast_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        # The connection attempt is in flight, not yet established.
+        assert seed.address not in leecher.connections
+        swarm.run(3.0)
+        assert seed.address in leecher.connections
+
+    def test_download_completes_with_connect_latency(self):
+        from repro.sim.config import SwarmConfig
+        config = SwarmConfig(seed=7, connect_latency=1.0)
+        swarm = tiny_swarm(num_pieces=8, swarm_config=config)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(400)
+        assert leecher.bitfield.is_complete()
+
+    def test_departed_initiator_aborts_pending_connect(self):
+        from repro.sim.config import SwarmConfig
+        config = SwarmConfig(seed=7, connect_latency=5.0)
+        swarm = tiny_swarm(num_pieces=4, swarm_config=config)
+        seed = swarm.add_peer(config=fast_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        leecher.leave()
+        swarm.run(10.0)
+        assert leecher.address not in seed.connections

@@ -1,0 +1,88 @@
+"""Tests for peer identifiers and the (IP, client-ID) identification rule."""
+
+from random import Random
+
+import pytest
+
+from repro.protocol.peer_id import (
+    PeerId,
+    PeerIdentity,
+    identify,
+    make_peer_id,
+    parse_client_id,
+)
+
+
+class TestMakePeerId:
+    def test_mainline_style(self):
+        peer_id = make_peer_id("M4-0-2", Random(1))
+        assert len(peer_id.raw) == 20
+        assert peer_id.raw.startswith(b"M4-0-2-")
+        assert peer_id.client_id == "M4-0-2"
+
+    def test_azureus_style(self):
+        peer_id = make_peer_id("-AZ2504", Random(1))
+        assert peer_id.raw.startswith(b"-AZ2504-")
+        assert peer_id.client_id == "-AZ2504"
+
+    def test_random_suffix_changes_on_restart(self):
+        rng = Random(1)
+        first = make_peer_id("M4-0-2", rng)
+        second = make_peer_id("M4-0-2", rng)
+        assert first.raw != second.raw
+        assert first.client_id == second.client_id
+
+    def test_deterministic_given_seed(self):
+        assert make_peer_id("M4-0-2", Random(7)).raw == make_peer_id(
+            "M4-0-2", Random(7)
+        ).raw
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            make_peer_id("M" * 25, Random(1))
+
+
+class TestParseClientId:
+    def test_mainline(self):
+        assert parse_client_id(b"M4-0-2--abcdefghijkl") == "M4-0-2"
+
+    def test_mainline_major_only(self):
+        assert parse_client_id(b"M4-abcdefghijklmnopq") == "M4"
+
+    def test_azureus(self):
+        assert parse_client_id(b"-AZ2504-abcdefghijkl") == "-AZ2504"
+
+    def test_unknown_format(self):
+        assert parse_client_id(b"\x00" * 20) is None
+
+    def test_wrong_length(self):
+        assert parse_client_id(b"M4-0-2-") is None
+
+
+class TestIdentity:
+    def test_same_ip_same_client_is_same_identity(self):
+        rng = Random(1)
+        first = make_peer_id("M4-0-2", rng)
+        second = make_peer_id("M4-0-2", rng)  # "restarted" client
+        assert identify("1.2.3.4", first.raw) == identify("1.2.3.4", second.raw)
+
+    def test_same_ip_different_client_differs(self):
+        rng = Random(1)
+        mainline = make_peer_id("M4-0-2", rng)
+        azureus = make_peer_id("-AZ2504", rng)
+        assert identify("1.2.3.4", mainline.raw) != identify("1.2.3.4", azureus.raw)
+
+    def test_different_ip_differs(self):
+        rng = Random(1)
+        peer_id = make_peer_id("M4-0-2", rng)
+        assert identify("1.2.3.4", peer_id.raw) != identify("1.2.3.5", peer_id.raw)
+
+    def test_identity_fields(self):
+        identity = identify("10.0.0.1", b"M4-0-2--abcdefghijkl")
+        assert identity == PeerIdentity(ip="10.0.0.1", client_id="M4-0-2")
+
+
+class TestPeerIdValidation:
+    def test_raw_must_be_20_bytes(self):
+        with pytest.raises(ValueError):
+            PeerId(raw=b"short", client_id="x")

@@ -1,0 +1,170 @@
+"""Tests for result rendering and trace export."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    interarrival_summary,
+    peer_set_series,
+    replication_series,
+    summarize_entropy,
+)
+from repro.analysis.fairness import leecher_contribution, unchoke_interest_correlation
+from repro.instrumentation import Instrumentation
+from repro.reporting import (
+    ascii_chart,
+    ascii_table,
+    load_trace_summary,
+    save_trace_summary,
+    series_to_csv,
+    sparkline,
+    table_to_csv,
+)
+from repro.sim.config import KIB
+
+from tests.conftest import fast_config, tiny_swarm
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        text = ascii_table(["id", "n"], [[1, 10], [2, 300]])
+        lines = text.splitlines()
+        assert lines[0] == "id   n"
+        assert lines[1] == "-- ---"
+        assert lines[2] == " 1  10"
+        assert lines[3] == " 2 300"
+
+    def test_left_alignment(self):
+        text = ascii_table(["name"], [["ab"], ["c"]], align_right=False)
+        assert "ab" in text.splitlines()[2]
+
+    def test_empty_rows(self):
+        text = ascii_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table([], [])
+
+
+class TestSparkline:
+    def test_monotone(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestAsciiChart:
+    def test_renders_extremes(self):
+        text = ascii_chart([0, 1, 2], [10, 20, 30], height=4, width=10)
+        assert "30" in text and "10" in text
+        assert text.count("*") == 3
+
+    def test_label(self):
+        text = ascii_chart([0, 1], [0, 1], label="demo")
+        assert text.splitlines()[0] == "demo"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0], [0, 1])
+        with pytest.raises(ValueError):
+            ascii_chart([0], [0], height=1)
+
+    def test_empty(self):
+        assert "empty" in ascii_chart([], [])
+
+
+class TestCsv:
+    def test_series(self, tmp_path):
+        path = tmp_path / "series.csv"
+        text = series_to_csv({"t": [0, 1], "v": [2.5, 3.5]}, path)
+        assert text == "t,v\n0,2.5\n1,3.5\n"
+        assert path.read_text() == text
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"a": [1], "b": [1, 2]})
+
+    def test_series_empty(self):
+        with pytest.raises(ValueError):
+            series_to_csv({})
+
+    def test_table(self, tmp_path):
+        path = tmp_path / "table.csv"
+        text = table_to_csv(["a", "b"], [[1, "x"]], path)
+        assert text == "a,b\n1,x\n"
+        assert path.read_text() == text
+
+
+class TestTraceExport:
+    @pytest.fixture(scope="class")
+    def trace_pair(self, tmp_path_factory):
+        swarm = tiny_swarm(num_pieces=16, seed=31)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        for __ in range(4):
+            swarm.add_peer(config=fast_config(upload=2 * KIB))
+        trace = Instrumentation()
+        swarm.add_peer(config=fast_config(upload=4 * KIB), observer=trace)
+        trace.start_sampling()
+        swarm.run(600)
+        trace.finalize()
+        path = tmp_path_factory.mktemp("traces") / "trace.json"
+        save_trace_summary(trace, path)
+        return trace, load_trace_summary(path)
+
+    def test_event_streams_roundtrip(self, trace_pair):
+        original, loaded = trace_pair
+        assert loaded.piece_completions == original.piece_completions
+        assert loaded.block_arrivals == original.block_arrivals
+        assert loaded.choke_rounds == original.choke_rounds
+        assert loaded.seed_state_at == original.seed_state_at
+        assert loaded.endgame_at == original.endgame_at
+        assert loaded.messages_sent == original.messages_sent
+
+    def test_records_roundtrip(self, trace_pair):
+        original, loaded = trace_pair
+        assert set(loaded.records) == set(original.records)
+        for address, record in original.records.items():
+            twin = loaded.records[address]
+            assert twin.presence.intervals == record.presence.intervals
+            assert twin.uploaded_leecher_state == record.uploaded_leecher_state
+            assert twin.unchoke_times == record.unchoke_times
+
+    def test_analysis_agrees_on_loaded_trace(self, trace_pair):
+        original, loaded = trace_pair
+        assert loaded.leecher_interval == original.leecher_interval
+        assert loaded.seed_interval == original.seed_interval
+
+        original_entropy = summarize_entropy(original)
+        loaded_entropy = summarize_entropy(loaded)
+        assert loaded_entropy.local_in_remote == original_entropy.local_in_remote
+
+        original_series = replication_series(original)
+        loaded_series = replication_series(loaded)
+        assert loaded_series.min_copies == original_series.min_copies
+
+        assert peer_set_series(loaded) == peer_set_series(original)
+
+        original_pieces = interarrival_summary(original, kind="piece", n=5)
+        loaded_pieces = interarrival_summary(loaded, kind="piece", n=5)
+        assert loaded_pieces.all_items == original_pieces.all_items
+
+        assert leecher_contribution(loaded) == leecher_contribution(original)
+        original_corr = unchoke_interest_correlation(original, state="leecher")
+        loaded_corr = unchoke_interest_correlation(loaded, state="leecher")
+        assert loaded_corr.unchoke_counts == original_corr.unchoke_counts
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 999}')
+        with pytest.raises(ValueError):
+            load_trace_summary(path)

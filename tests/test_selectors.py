@@ -1,0 +1,105 @@
+"""Tests for the piece-selection strategies."""
+
+from collections import Counter
+from random import Random
+
+from hypothesis import given, strategies as st
+
+from repro.core.rarest_first import (
+    GlobalRarestSelector,
+    RandomSelector,
+    RarestFirstSelector,
+    SequentialSelector,
+)
+
+
+class TestRarestFirst:
+    def test_picks_unique_rarest(self):
+        selector = RarestFirstSelector()
+        availability = [5, 1, 3, 4]
+        assert selector.select([0, 1, 2, 3], availability, Random(1)) == 1
+
+    def test_random_within_rarest_set(self):
+        selector = RarestFirstSelector()
+        availability = [2, 1, 1, 9]
+        picks = {
+            selector.select([0, 1, 2, 3], availability, Random(seed))
+            for seed in range(50)
+        }
+        assert picks == {1, 2}
+
+    def test_only_considers_candidates(self):
+        # Piece 0 is globally rarest but not offered by this remote.
+        selector = RarestFirstSelector()
+        availability = [0, 2, 3]
+        assert selector.select([1, 2], availability, Random(1)) == 1
+
+    def test_uniformity_over_rarest_set(self):
+        selector = RarestFirstSelector()
+        availability = [1, 1, 1, 1]
+        rng = Random(42)
+        counts = Counter(
+            selector.select([0, 1, 2, 3], availability, rng) for __ in range(4000)
+        )
+        for piece in range(4):
+            assert 800 < counts[piece] < 1200  # roughly uniform
+
+
+class TestRandomSelector:
+    def test_ignores_availability(self):
+        selector = RandomSelector()
+        availability = [0, 100]
+        picks = {selector.select([0, 1], availability, Random(s)) for s in range(40)}
+        assert picks == {0, 1}
+
+
+class TestSequentialSelector:
+    def test_lowest_index(self):
+        selector = SequentialSelector()
+        assert selector.select([7, 2, 9], [1] * 10, Random(1)) == 2
+
+
+class TestGlobalRarest:
+    def test_uses_oracle_counts(self):
+        # Local availability says piece 0 is rarest, the oracle says 1.
+        oracle = lambda: [10, 1]
+        selector = GlobalRarestSelector(oracle)
+        assert selector.select([0, 1], [1, 5], Random(1)) == 1
+
+    def test_oracle_called_fresh_each_time(self):
+        counts = {"calls": 0}
+
+        def oracle():
+            counts["calls"] += 1
+            return [1, 2]
+
+        selector = GlobalRarestSelector(oracle)
+        selector.select([0, 1], [0, 0], Random(1))
+        selector.select([0, 1], [0, 0], Random(1))
+        assert counts["calls"] == 2
+
+
+@given(
+    st.lists(st.integers(0, 50), min_size=1, max_size=40),
+    st.integers(0, 2**32 - 1),
+)
+def test_property_every_selector_returns_a_candidate(availability, seed):
+    candidates = list(range(len(availability)))
+    rng = Random(seed)
+    for selector in (
+        RarestFirstSelector(),
+        RandomSelector(),
+        SequentialSelector(),
+        GlobalRarestSelector(lambda: availability),
+    ):
+        assert selector.select(candidates, availability, rng) in candidates
+
+
+@given(
+    st.lists(st.integers(0, 50), min_size=2, max_size=40),
+    st.integers(0, 2**32 - 1),
+)
+def test_property_rarest_first_picks_minimum(availability, seed):
+    candidates = list(range(len(availability)))
+    pick = RarestFirstSelector().select(candidates, availability, Random(seed))
+    assert availability[pick] == min(availability)

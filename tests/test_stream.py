@@ -1,0 +1,159 @@
+"""Tests for the incremental peer-wire stream decoder and tracker wire."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocol.messages import (
+    Bitfield,
+    Choke,
+    Handshake,
+    Have,
+    Interested,
+    KeepAlive,
+    MessageError,
+    Piece,
+    Request,
+    Unchoke,
+)
+from repro.protocol.stream import MessageStream, encode_session
+from repro.tracker.wire import (
+    AnnounceResponse,
+    decode_announce_response,
+    encode_announce_response,
+    encode_failure,
+    pack_peers,
+    unpack_peers,
+)
+
+HANDSHAKE = Handshake(info_hash=b"h" * 20, peer_id=b"p" * 20)
+
+MESSAGES = [
+    Choke(),
+    Unchoke(),
+    Interested(),
+    Have(piece=42),
+    Bitfield(bits=b"\xf0"),
+    Request(piece=1, offset=0, length=16384),
+    Piece(piece=1, offset=0, data=b"x" * 64),
+    KeepAlive(),
+]
+
+
+class TestMessageStream:
+    def test_whole_session_at_once(self):
+        stream = MessageStream()
+        wire = encode_session(MESSAGES, handshake=HANDSHAKE)
+        out = stream.feed(wire)
+        assert out[0] == HANDSHAKE
+        assert out[1:] == MESSAGES
+        assert stream.buffered_bytes == 0
+        assert stream.bytes_consumed == len(wire)
+
+    def test_byte_at_a_time(self):
+        stream = MessageStream()
+        wire = encode_session(MESSAGES, handshake=HANDSHAKE)
+        out = []
+        for index in range(len(wire)):
+            out.extend(stream.feed(wire[index : index + 1]))
+        assert out[0] == HANDSHAKE
+        assert out[1:] == MESSAGES
+
+    def test_without_handshake(self):
+        stream = MessageStream(expect_handshake=False)
+        out = stream.feed(encode_session(MESSAGES))
+        assert out == MESSAGES
+        assert stream.handshake is None
+
+    def test_partial_frame_buffers(self):
+        stream = MessageStream(expect_handshake=False)
+        wire = Have(piece=7).encode()
+        assert stream.feed(wire[:-1]) == []
+        assert stream.buffered_bytes == len(wire) - 1
+        assert stream.feed(wire[-1:]) == [Have(piece=7)]
+
+    def test_handshake_recorded(self):
+        stream = MessageStream()
+        stream.feed(HANDSHAKE.encode())
+        assert stream.handshake == HANDSHAKE
+
+    def test_oversized_frame_rejected(self):
+        stream = MessageStream(expect_handshake=False)
+        with pytest.raises(MessageError):
+            stream.feed((2 << 20).to_bytes(4, "big"))
+
+    def test_bad_handshake_raises(self):
+        stream = MessageStream()
+        with pytest.raises(MessageError):
+            stream.feed(b"\x00" * 68)
+
+
+@given(st.lists(st.sampled_from(MESSAGES), max_size=20), st.data())
+def test_property_arbitrary_fragmentation(messages, data):
+    """Any fragmentation of any message sequence reassembles exactly."""
+    wire = encode_session(messages, handshake=HANDSHAKE)
+    stream = MessageStream()
+    out = []
+    position = 0
+    while position < len(wire):
+        step = data.draw(st.integers(1, max(1, len(wire) - position)))
+        out.extend(stream.feed(wire[position : position + step]))
+        position += step
+    assert out[0] == HANDSHAKE
+    assert out[1:] == messages
+
+
+class TestCompactPeers:
+    def test_roundtrip(self):
+        peers = [("10.0.0.1", 6881), ("192.168.1.2", 51413)]
+        assert unpack_peers(pack_peers(peers)) == peers
+
+    def test_six_bytes_per_peer(self):
+        assert len(pack_peers([("1.2.3.4", 80)])) == 6
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_peers(b"\x00" * 5)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            pack_peers([("1.2.3.4", 0)])
+        with pytest.raises(ValueError):
+            pack_peers([("1.2.3.4", 70000)])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(
+                    st.integers(0, 255), st.integers(0, 255),
+                    st.integers(0, 255), st.integers(0, 255),
+                ).map(lambda q: "%d.%d.%d.%d" % q),
+                st.integers(1, 65535),
+            ),
+            max_size=30,
+        )
+    )
+    def test_property_roundtrip(self, peers):
+        assert unpack_peers(pack_peers(peers)) == peers
+
+
+class TestAnnounceResponse:
+    def test_roundtrip(self):
+        response = AnnounceResponse(
+            interval=1800,
+            complete=3,
+            incomplete=14,
+            peers=[("10.0.0.1", 6881), ("10.0.0.2", 6882)],
+        )
+        assert decode_announce_response(encode_announce_response(response)) == response
+
+    def test_failure_response_raises(self):
+        with pytest.raises(ValueError, match="torrent not registered"):
+            decode_announce_response(encode_failure("torrent not registered"))
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            decode_announce_response(b"garbage")
+        with pytest.raises(ValueError):
+            decode_announce_response(b"le")
+        with pytest.raises(ValueError):
+            decode_announce_response(b"de")

@@ -1,0 +1,135 @@
+"""Tests for super-seeding mode (§IV-A.4, the [3] option).
+
+A super seed advertises an empty bitfield, reveals pieces one at a time
+per peer (preferring the least-revealed piece), serves only revealed
+pieces, and offers the next piece when the peer announces completion of
+the current one.
+"""
+
+import pytest
+
+from repro.sim.config import KIB, PeerConfig
+
+from tests.conftest import fast_config, tiny_swarm
+
+
+def super_seed_config(upload=8 * KIB):
+    return PeerConfig(upload_capacity=upload, super_seeding=True)
+
+
+class TestSuperSeedBasics:
+    def test_flag_requires_complete_bitfield(self):
+        swarm = tiny_swarm(num_pieces=4)
+        leecher = swarm.add_peer(config=super_seed_config())
+        assert not leecher.super_seeding  # a leecher cannot super-seed
+
+    def test_advertises_empty_bitfield(self):
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=super_seed_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(1)
+        conn = leecher.connections[seed.address]
+        # The leecher sees only the revealed piece, not the full bitfield.
+        assert conn.remote_bitfield.count == 1
+
+    def test_reveals_one_piece_per_peer(self):
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=super_seed_config(), is_seed=True)
+        leechers = [swarm.add_peer(config=fast_config()) for __ in range(4)]
+        swarm.run(1)
+        revealed = [seed._active_reveal[l.address] for l in leechers]
+        # Least-revealed preference: four distinct pieces revealed.
+        assert len(set(revealed)) == 4
+
+    def test_serves_only_revealed_pieces(self):
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=super_seed_config(upload=2 * KIB), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(20)  # mid-download: the funnel is still active
+        assert 0 < leecher.bitfield.count < 8
+        # The leecher can hold at most the pieces revealed to it so far.
+        assert leecher.bitfield.count <= len(seed._revealed_to[leecher.address])
+
+    def test_connection_closed_after_everything_revealed(self):
+        """Once every piece has been revealed, the super seed looks like
+        a plain seed; a completing leecher closes the connection."""
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=super_seed_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(120)
+        assert leecher.bitfield.is_complete()
+        assert seed.address not in leecher.connections
+
+    def test_reveal_advances_on_completion(self):
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=super_seed_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(300)
+        # Reveals kept flowing: the whole content was eventually offered
+        # and downloaded through the one-piece-at-a-time funnel.
+        assert leecher.bitfield.is_complete()
+
+    def test_full_swarm_completes_with_super_seed(self):
+        swarm = tiny_swarm(num_pieces=16, seed=13)
+        swarm.add_peer(config=super_seed_config(), is_seed=True)
+        leechers = [
+            swarm.add_peer(config=fast_config(upload=4 * KIB)) for __ in range(5)
+        ]
+        swarm.run(900)
+        assert all(l.bitfield.is_complete() for l in leechers)
+
+    def test_departed_peer_reveals_cleaned(self):
+        swarm = tiny_swarm(num_pieces=8)
+        seed = swarm.add_peer(config=super_seed_config(), is_seed=True)
+        leecher = swarm.add_peer(config=fast_config())
+        swarm.run(5)
+        assert leecher.address in seed._revealed_to
+        leecher.leave()
+        assert leecher.address not in seed._revealed_to
+        assert leecher.address not in seed._active_reveal
+
+
+class TestSuperSeedEfficiency:
+    def test_no_duplicate_service_before_full_copy(self):
+        """The flagship property: the seed pushes close to exactly one
+        content's worth of bytes before the first full copy exists."""
+        swarm = tiny_swarm(num_pieces=24, seed=21)
+        seed = swarm.add_peer(
+            config=super_seed_config(upload=4 * KIB), is_seed=True
+        )
+        for __ in range(6):
+            swarm.add_peer(config=fast_config(upload=4 * KIB))
+        samples = {}
+
+        def probe(now):
+            samples[now] = seed.total_uploaded
+
+        swarm.on_tick(probe)
+        result = swarm.run(600)
+        first_copy = result.first_full_copy_at
+        assert first_copy is not None
+        uploaded_at_first_copy = min(
+            (value for time, value in samples.items() if time >= first_copy),
+            default=seed.total_uploaded,
+        )
+        content = swarm.metainfo.geometry.total_size
+        # One copy's worth, with a small margin for in-flight blocks.
+        assert uploaded_at_first_copy <= 1.3 * content
+
+    def test_super_seed_matches_or_beats_plain_seed_on_first_copy(self):
+        def first_copy(super_seeding):
+            swarm = tiny_swarm(num_pieces=24, seed=29)
+            config = PeerConfig(
+                upload_capacity=2 * KIB, super_seeding=super_seeding
+            )
+            swarm.add_peer(config=config, is_seed=True)
+            for __ in range(6):
+                swarm.add_peer(config=fast_config(upload=4 * KIB))
+            return swarm.run(1200).first_full_copy_at
+
+        plain = first_copy(False)
+        fancy = first_copy(True)
+        assert plain is not None and fancy is not None
+        # The theoretical floor is content/upload = 24*4kiB/2kiB = 48 s;
+        # super seeding should not be (much) worse than the plain seed.
+        assert fancy <= plain * 1.3

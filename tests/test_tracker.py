@@ -1,0 +1,89 @@
+"""Tests for the simulated tracker."""
+
+from random import Random
+
+from repro.tracker.tracker import Tracker
+
+
+def make_tracker():
+    clock = {"now": 0.0}
+    tracker = Tracker(Random(1), lambda: clock["now"])
+    return tracker, clock
+
+
+class TestAnnounce:
+    def test_started_registers(self):
+        tracker, __ = make_tracker()
+        tracker.announce("a", event="started", num_want=50, is_seed=False)
+        assert tracker.num_registered == 1
+
+    def test_stopped_unregisters(self):
+        tracker, __ = make_tracker()
+        tracker.announce("a", event="started", num_want=0, is_seed=False)
+        tracker.announce("a", event="stopped", num_want=0, is_seed=False)
+        assert tracker.num_registered == 0
+
+    def test_peer_list_excludes_requester(self):
+        tracker, __ = make_tracker()
+        for name in "abcde":
+            tracker.announce(name, event="started", num_want=0, is_seed=False)
+        peers = tracker.announce("a", event="", num_want=50, is_seed=False)
+        assert "a" not in peers
+        assert set(peers) == set("bcde")
+
+    def test_num_want_respected(self):
+        tracker, __ = make_tracker()
+        for index in range(100):
+            tracker.announce("p%d" % index, event="started", num_want=0, is_seed=False)
+        peers = tracker.announce("p0", event="", num_want=50, is_seed=False)
+        assert len(peers) == 50
+        assert len(set(peers)) == 50
+
+    def test_zero_num_want(self):
+        tracker, __ = make_tracker()
+        tracker.announce("a", event="started", num_want=0, is_seed=False)
+        assert tracker.announce("b", event="started", num_want=0, is_seed=False) == []
+
+    def test_sampling_is_random(self):
+        tracker, __ = make_tracker()
+        for index in range(60):
+            tracker.announce("p%d" % index, event="started", num_want=0, is_seed=False)
+        first = tracker.announce("p0", event="", num_want=20, is_seed=False)
+        second = tracker.announce("p0", event="", num_want=20, is_seed=False)
+        assert first != second  # astronomically unlikely to collide
+
+    def test_completed_counted(self):
+        tracker, __ = make_tracker()
+        tracker.announce("a", event="started", num_want=0, is_seed=False)
+        tracker.announce("a", event="completed", num_want=0, is_seed=True)
+        assert tracker.completed_count == 1
+
+
+class TestScrape:
+    def test_seed_leecher_split(self):
+        tracker, __ = make_tracker()
+        tracker.announce("s", event="started", num_want=0, is_seed=True)
+        tracker.announce("l1", event="started", num_want=0, is_seed=False)
+        tracker.announce("l2", event="started", num_want=0, is_seed=False)
+        assert tracker.scrape() == (1, 2)
+
+    def test_seed_transition_updates_scrape(self):
+        tracker, __ = make_tracker()
+        tracker.announce("x", event="started", num_want=0, is_seed=False)
+        tracker.announce("x", event="completed", num_want=0, is_seed=True)
+        assert tracker.scrape() == (1, 0)
+
+    def test_history_records_time(self):
+        tracker, clock = make_tracker()
+        tracker.announce("a", event="started", num_want=0, is_seed=False)
+        clock["now"] = 100.0
+        tracker.announce("b", event="started", num_want=0, is_seed=True)
+        history = tracker.history
+        assert [s.time for s in history] == [0.0, 100.0]
+        assert history[-1].seeds == 1
+        assert history[-1].leechers == 1
+
+    def test_registered_addresses(self):
+        tracker, __ = make_tracker()
+        tracker.announce("a", event="started", num_want=0, is_seed=False)
+        assert tracker.registered_addresses() == ["a"]
