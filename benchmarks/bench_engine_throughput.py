@@ -1,0 +1,194 @@
+"""Engine throughput benchmark: simulated events/sec across swarm sizes.
+
+Unlike the figure/table benchmarks (which reproduce paper artefacts),
+this one measures the *simulator itself*: how fast the event engine,
+piece picker and fluid bandwidth loop chew through a swarm.  Each swarm
+size runs twice on the same seed — once with the naive O(num_pieces)
+selection path (``use_rarity_index=False``, the pre-index baseline) and
+once with the incremental rarity index — and the report records
+wall-clock, events/sec and the indexed-over-naive speedup.  Because the
+two paths are trace-equivalent, both runs execute the identical event
+sequence: the speedup is pure hot-path cost, not workload drift.
+
+Run it directly (no pytest needed); it writes machine-readable
+``BENCH_engine_throughput.json`` at the repository root so future PRs
+can diff engine throughput across commits:
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from random import Random
+
+from repro.protocol.metainfo import make_metainfo
+from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.swarm import Swarm
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_engine_throughput.json"
+
+# One-block pieces keep every request on the piece-selection hot path
+# (no strict-priority shortcut), which is exactly what this benchmark
+# stresses; capacities are high enough that the swarm makes real
+# progress within the simulated window.  High piece counts are the
+# regime the rarity buckets exist for: the naive path pays
+# O(num_pieces) per selection probe, the indexed path O(rarest bucket).
+SWARMS = {
+    "small": dict(leechers=10, pieces=512, sim_seconds=400.0),
+    "medium": dict(leechers=30, pieces=1024, sim_seconds=450.0),
+    "large": dict(leechers=60, pieces=1024, sim_seconds=250.0),
+}
+QUICK_SCALE = 0.25  # --quick shrinks the simulated window, not the swarm
+
+
+def build_swarm(
+    leechers: int, pieces: int, seed: int, use_rarity_index: bool
+) -> Swarm:
+    metainfo = make_metainfo(
+        "throughput-%dp" % pieces,
+        num_pieces=pieces,
+        piece_size=16 * KIB,
+        block_size=16 * KIB,
+    )
+    swarm = Swarm(metainfo, SwarmConfig(seed=seed))
+    rng = Random(seed)
+
+    def peer_config() -> PeerConfig:
+        return PeerConfig(
+            upload_capacity=rng.choice([32, 64, 96, 128]) * KIB,
+            use_rarity_index=use_rarity_index,
+        )
+
+    swarm.add_peer(config=peer_config(), is_seed=True)
+    # Staggered arrivals spread the availability distribution across
+    # many copy counts, the regime the rarity buckets are built for.
+    for index in range(leechers):
+        delay = rng.uniform(0.0, 60.0)
+        swarm.schedule_arrival(delay, config=peer_config())
+    return swarm
+
+
+def swarm_fingerprint(swarm: Swarm) -> str:
+    """Digest of every peer's final piece set.
+
+    Two runs that executed the identical event sequence end with
+    identical per-peer piece sets, so comparing fingerprints between the
+    naive and indexed runs proves trace equivalence at piece granularity
+    even when the simulated window ends before anyone completes.
+    """
+    digest = hashlib.sha256()
+    for address in sorted(swarm.peers):
+        have = sorted(swarm.peers[address].bitfield.have_set)
+        digest.update(repr((address, have)).encode())
+    return digest.hexdigest()
+
+
+def run_once(
+    leechers: int, pieces: int, sim_seconds: float, seed: int, use_rarity_index: bool
+) -> dict:
+    swarm = build_swarm(leechers, pieces, seed, use_rarity_index)
+    started = time.perf_counter()
+    result = swarm.run(sim_seconds)
+    wall = time.perf_counter() - started
+    events = swarm.simulator.events_processed
+    return {
+        "wall_seconds": round(wall, 4),
+        "events": events,
+        "events_per_second": round(events / wall, 1) if wall > 0 else None,
+        "blocks_moved": int(result.bytes_moved // (16 * KIB)),
+        "completions": len(result.completions),
+        "completion_trace": sorted(result.completions.items()),
+        "fingerprint": swarm_fingerprint(swarm),
+    }
+
+
+def run_suite(quick: bool, seed: int) -> dict:
+    report = {
+        "benchmark": "engine_throughput",
+        "python": platform.python_version(),
+        "seed": seed,
+        "quick": quick,
+        "swarms": {},
+    }
+    for name, params in SWARMS.items():
+        sim_seconds = params["sim_seconds"] * (QUICK_SCALE if quick else 1.0)
+        sized = {
+            "peers": params["leechers"] + 1,
+            "pieces": params["pieces"],
+            "sim_seconds": sim_seconds,
+        }
+        for label, use_index in (("naive", False), ("indexed", True)):
+            sized[label] = run_once(
+                params["leechers"], params["pieces"], sim_seconds, seed, use_index
+            )
+            print(
+                "%-7s %-8s wall=%7.2fs  events/s=%10.1f  blocks=%d"
+                % (
+                    name,
+                    label,
+                    sized[label]["wall_seconds"],
+                    sized[label]["events_per_second"],
+                    sized[label]["blocks_moved"],
+                )
+            )
+        # Trace equivalence makes the comparison apples-to-apples; a
+        # mismatch means the indexed path diverged and the timing is
+        # meaningless, so record it loudly.  The fingerprint covers every
+        # peer's piece set, so this bites even before any completions.
+        sized["traces_match"] = (
+            sized["naive"].pop("completion_trace")
+            == sized["indexed"].pop("completion_trace")
+            and sized["naive"]["fingerprint"] == sized["indexed"]["fingerprint"]
+            and sized["naive"]["blocks_moved"] == sized["indexed"]["blocks_moved"]
+        )
+        sized["speedup_indexed_over_naive"] = round(
+            sized["naive"]["wall_seconds"] / sized["indexed"]["wall_seconds"], 2
+        )
+        print(
+            "%-7s speedup=%.2fx  traces_match=%s"
+            % (name, sized["speedup_indexed_over_naive"], sized["traces_match"])
+        )
+        report["swarms"][name] = sized
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the simulated window ~4x (smoke-test mode)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT, help="report path (JSON)"
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(args.quick, args.seed)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print("wrote %s" % args.output)
+    failures = [
+        name
+        for name, sized in report["swarms"].items()
+        if not sized["traces_match"]
+    ]
+    if failures:
+        print("TRACE MISMATCH in: %s" % ", ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,19 +17,103 @@ The picker owns four responsibilities (paper §II-C.1):
 4. **End game mode** — once every missing block is either received or
    requested, outstanding blocks are requested from *every* peer that
    offers them, with CANCELs on receipt.
+
+Scaling note: availability is kept both as a flat count array and as a
+:class:`RarityIndex` — pieces bucketed by copy count — so the rarest
+pieces set and rarest-first selection cost O(rarest bucket) instead of
+O(num_pieces) per call.  A second index restricted to *wanted* pieces
+(missing and not yet started) feeds selection directly.  The indexed
+path is behaviour-preserving: given the same seed it consumes the RNG
+identically and produces the same piece-selection trace as the naive
+scan (``use_rarity_index=False``), which tests assert.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from operator import neg
 from random import Random
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.rarest_first import PieceSelector, RandomSelector
 from repro.protocol.bitfield import Bitfield
 from repro.protocol.metainfo import BlockRef, PieceGeometry
 
 PeerKey = Hashable
+
+
+class RarityIndex:
+    """Piece indices bucketed by copy count (availability).
+
+    The bucket map only holds non-empty buckets, so the minimum occupied
+    count is ``min`` over at most ``distinct counts`` keys — in a swarm
+    that is bounded by the peer-set size, not by the piece count.  Every
+    mutation is O(1); :meth:`rarest` is O(rarest bucket) for the sort
+    that keeps its output identical to the naive ascending scan.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self, members: Iterable[int] = (), count: int = 0):
+        self._buckets: Dict[int, Set[int]] = {}
+        initial = set(members)
+        if initial:
+            self._buckets[count] = initial
+
+    def add(self, piece: int, count: int) -> None:
+        self._buckets.setdefault(count, set()).add(piece)
+
+    def remove(self, piece: int, count: int) -> None:
+        bucket = self._buckets[count]
+        bucket.remove(piece)
+        if not bucket:
+            del self._buckets[count]
+
+    def move(self, piece: int, old_count: int, new_count: int) -> None:
+        # Open-coded remove+add: this runs once (twice with the wanted
+        # index) for every HAVE in the swarm, so call overhead matters.
+        buckets = self._buckets
+        bucket = buckets[old_count]
+        bucket.remove(piece)
+        if not bucket:
+            del buckets[old_count]
+        target = buckets.get(new_count)
+        if target is None:
+            buckets[new_count] = {piece}
+        else:
+            target.add(piece)
+
+    def is_empty(self) -> bool:
+        return not self._buckets
+
+    def min_count(self) -> int:
+        """Smallest occupied copy count (ValueError when empty)."""
+        return min(self._buckets)
+
+    def rarest(self) -> Tuple[int, List[int]]:
+        """(m, sorted pieces with m copies): the rarest occupied bucket."""
+        rarest_count = min(self._buckets)
+        return rarest_count, sorted(self._buckets[rarest_count])
+
+    def ascending(self) -> Iterator[Tuple[int, Set[int]]]:
+        """Iterate (count, bucket) pairs from rarest to most replicated."""
+        for count in sorted(self._buckets):
+            yield count, self._buckets[count]
+
+    def snapshot(self) -> Dict[int, Set[int]]:
+        """Copy of the bucket map (for tests and debugging)."""
+        return {count: set(bucket) for count, bucket in self._buckets.items()}
 
 
 @dataclass
@@ -46,27 +130,28 @@ class _PartialPiece:
     received: Set[int] = field(default_factory=set)
     requested: Dict[int, Set[PeerKey]] = field(default_factory=dict)
     unrequested: List[int] = field(default_factory=list)
+    """Block indices not yet requested, sorted in DESCENDING index order
+    so the next block (the lowest offset) pops from the end in O(1)."""
 
     def __post_init__(self) -> None:
         if not self.received and not self.requested and not self.unrequested:
-            self.unrequested = list(range(len(self.blocks)))
+            self.unrequested = list(range(len(self.blocks) - 1, -1, -1))
 
     def is_complete(self) -> bool:
         return len(self.received) == len(self.blocks)
 
     def pop_unrequested(self, peer_key: PeerKey) -> Optional[int]:
-        """Move the first unrequested block to in-flight for *peer_key*."""
+        """Move the lowest-offset unrequested block to in-flight."""
         if not self.unrequested:
             return None
-        index = self.unrequested.pop(0)
+        index = self.unrequested.pop()
         self.requested[index] = {peer_key}
         return index
 
     def release(self, index: int) -> None:
         """Return an in-flight block to the unrequested pool (in order)."""
         del self.requested[index]
-        self.unrequested.append(index)
-        self.unrequested.sort()
+        insort(self.unrequested, index, key=neg)
 
 
 class PiecePicker:
@@ -81,6 +166,7 @@ class PiecePicker:
         random_first_threshold: int = 4,
         strict_priority: bool = True,
         endgame_enabled: bool = True,
+        use_rarity_index: bool = True,
     ):
         self._geometry = geometry
         self._bitfield = bitfield
@@ -93,6 +179,20 @@ class PiecePicker:
         self._availability = [0] * geometry.num_pieces
         self._active: Dict[int, _PartialPiece] = {}
         self._endgame = False
+        self._use_index = use_rarity_index
+        # Active partials that still hold unrequested blocks; with the
+        # active-piece and missing-piece counts this makes the end-game
+        # trigger test O(1) instead of O(missing pieces).
+        self._open_partials = 0
+        # The bitfield's piece set is mutated in place for the picker's
+        # whole lifetime, so one membership view can be cached up front.
+        self._local_have = bitfield.have_set
+        if use_rarity_index:
+            self._all_index = RarityIndex(range(geometry.num_pieces))
+            self._wanted_index = RarityIndex(bitfield.missing_indices())
+        else:
+            self._all_index = None
+            self._wanted_index = None
 
     # ------------------------------------------------------------------
     # availability accounting
@@ -108,24 +208,37 @@ class PiecePicker:
         return self._selector
 
     @property
+    def uses_rarity_index(self) -> bool:
+        return self._use_index
+
+    @property
     def in_endgame(self) -> bool:
         return self._endgame
+
+    def _availability_delta(self, piece: int, delta: int) -> None:
+        old_count = self._availability[piece]
+        new_count = old_count + delta
+        if new_count < 0:
+            raise RuntimeError("negative availability for piece %d" % piece)
+        self._availability[piece] = new_count
+        if self._use_index:
+            self._all_index.move(piece, old_count, new_count)
+            if piece not in self._local_have and piece not in self._active:
+                self._wanted_index.move(piece, old_count, new_count)
 
     def peer_joined(self, remote_bitfield: Bitfield) -> None:
         """Account a new peer's full bitfield."""
         for piece in remote_bitfield.have_indices():
-            self._availability[piece] += 1
+            self._availability_delta(piece, +1)
 
     def peer_left(self, remote_bitfield: Bitfield) -> None:
         """Remove a departed peer's contribution to the counts."""
         for piece in remote_bitfield.have_indices():
-            self._availability[piece] -= 1
-            if self._availability[piece] < 0:  # pragma: no cover - invariant
-                raise RuntimeError("negative availability for piece %d" % piece)
+            self._availability_delta(piece, -1)
 
     def remote_has(self, piece: int) -> None:
         """Account one HAVE message."""
-        self._availability[piece] += 1
+        self._availability_delta(piece, +1)
 
     def rarest_pieces_set(self) -> Tuple[int, List[int]]:
         """(m, pieces-with-m-copies): the paper's rarest pieces set.
@@ -133,6 +246,8 @@ class PiecePicker:
         Computed over every piece of the torrent, as in §II-A ("the pieces
         that have the least number of copies in the peer set").
         """
+        if self._use_index:
+            return self._all_index.rarest()
         rarest_count = min(self._availability)
         pieces = [
             piece
@@ -165,6 +280,19 @@ class PiecePicker:
             return self._endgame_block(remote_bitfield, peer_key)
         return None
 
+    def _pop_block(self, partial: _PartialPiece, peer_key: PeerKey) -> int:
+        """Pop the next unrequested block, maintaining the open count."""
+        index = partial.pop_unrequested(peer_key)
+        if not partial.unrequested:
+            self._open_partials -= 1
+        return index
+
+    def _release_block(self, partial: _PartialPiece, index: int) -> None:
+        """Return a block to the unrequested pool, maintaining the count."""
+        if not partial.unrequested:
+            self._open_partials += 1
+        partial.release(index)
+
     def _strict_priority_block(
         self, remote_bitfield: Bitfield, peer_key: PeerKey
     ) -> Optional[BlockRef]:
@@ -174,34 +302,44 @@ class PiecePicker:
         for piece, partial in self._active.items():
             if not partial.unrequested or not remote_bitfield.has(piece):
                 continue
-            block_index = partial.pop_unrequested(peer_key)
+            block_index = self._pop_block(partial, peer_key)
             return partial.blocks[block_index]
         return None
 
     def _start_new_piece(
         self, remote_bitfield: Bitfield, peer_key: PeerKey
     ) -> Optional[BlockRef]:
+        piece = self._select_new_piece(remote_bitfield)
+        if piece is None:
+            # Without strict priority, fall back to any startable block of
+            # an active piece so progress is still possible.
+            if not self._strict_priority:
+                return self._any_active_block(remote_bitfield, peer_key)
+            return None
+        partial = _PartialPiece(blocks=self._geometry.blocks(piece))
+        self._active[piece] = partial
+        self._open_partials += 1
+        if self._use_index:
+            self._wanted_index.remove(piece, self._availability[piece])
+        block_index = self._pop_block(partial, peer_key)
+        return partial.blocks[block_index]
+
+    def _select_new_piece(self, remote_bitfield: Bitfield) -> Optional[int]:
+        """Pick the next piece to start, or None when nothing is startable."""
+        random_first = self._bitfield.count < self._random_first_threshold
+        if self._use_index and not random_first and self._selector.uses_rarity_index:
+            return self._selector.select_indexed(
+                self._wanted_index, remote_bitfield, self._rng
+            )
         candidates = [
             piece
             for piece in self._bitfield.pieces_only_in(remote_bitfield)
             if piece not in self._active
         ]
         if not candidates:
-            # Without strict priority, fall back to any startable block of
-            # an active piece so progress is still possible.
-            if not self._strict_priority:
-                return self._any_active_block(remote_bitfield, peer_key)
             return None
-        if self._bitfield.count < self._random_first_threshold:
-            piece = self._random_selector.select(
-                candidates, self._availability, self._rng
-            )
-        else:
-            piece = self._selector.select(candidates, self._availability, self._rng)
-        partial = _PartialPiece(blocks=self._geometry.blocks(piece))
-        self._active[piece] = partial
-        block_index = partial.pop_unrequested(peer_key)
-        return partial.blocks[block_index]
+        selector = self._random_selector if random_first else self._selector
+        return selector.select(candidates, self._availability, self._rng)
 
     def _any_active_block(
         self, remote_bitfield: Bitfield, peer_key: PeerKey
@@ -209,12 +347,20 @@ class PiecePicker:
         for piece, partial in self._active.items():
             if not partial.unrequested or not remote_bitfield.has(piece):
                 continue
-            block_index = partial.pop_unrequested(peer_key)
+            block_index = self._pop_block(partial, peer_key)
             return partial.blocks[block_index]
         return None
 
     def _all_blocks_requested(self) -> bool:
         """True when every missing block is either received or in flight."""
+        if self._use_index:
+            # Active pieces are exactly the started missing pieces; when
+            # every missing piece is active and none of them has an
+            # unrequested block left, everything is received or in flight.
+            return (
+                self._open_partials == 0
+                and len(self._active) == self._bitfield.missing
+            )
         for piece in self._bitfield.missing_indices():
             partial = self._active.get(piece)
             if partial is None or partial.unrequested:
@@ -266,8 +412,17 @@ class PiecePicker:
 
     def reset_piece(self, piece: int) -> None:
         """Discard a piece that failed its hash check (re-download it)."""
-        self._active.pop(piece, None)
+        partial = self._active.pop(piece, None)
+        if partial is not None and partial.unrequested:
+            self._open_partials -= 1
+        was_wanted = partial is None and not self._bitfield.has(piece)
         self._bitfield.clear(piece)
+        if self._use_index and not was_wanted:
+            self._wanted_index.add(piece, self._availability[piece])
+        # The whole piece is unrequested again, so "every missing block is
+        # received or in flight" no longer holds; next_request re-enters
+        # end game once that is true again.
+        self._endgame = False
 
     def on_peer_gone(self, peer_key: PeerKey) -> List[BlockRef]:
         """Release in-flight requests held by a departed/choking peer.
@@ -283,12 +438,20 @@ class PiecePicker:
                 askers = partial.requested[block_index]
                 askers.discard(peer_key)
                 if not askers:
-                    partial.release(block_index)
+                    self._release_block(partial, block_index)
                     released.append(partial.blocks[block_index])
             if not partial.received and not partial.requested:
                 emptied.append(piece)
         for piece in emptied:
-            del self._active[piece]
+            partial = self._active.pop(piece)
+            if partial.unrequested:
+                self._open_partials -= 1
+            if self._use_index:
+                self._wanted_index.add(piece, self._availability[piece])
+        if released:
+            # Some blocks are unrequested again: end game is over until
+            # next_request finds everything in flight once more.
+            self._endgame = False
         return released
 
     # ------------------------------------------------------------------

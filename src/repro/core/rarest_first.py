@@ -23,13 +23,23 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from random import Random
-from typing import Callable, List, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.piece_picker import RarityIndex
+    from repro.protocol.bitfield import Bitfield
 
 
 class PieceSelector(ABC):
     """Chooses the next piece to start among ``candidates``."""
 
     name = "abstract"
+
+    uses_rarity_index = False
+    """True when :meth:`select_indexed` implements an incremental fast
+    path over the picker's :class:`~repro.core.piece_picker.RarityIndex`.
+    Strategies that leave this False always get the naive candidate-list
+    scan."""
 
     @abstractmethod
     def select(
@@ -46,6 +56,25 @@ class PieceSelector(ABC):
         local peer misses and has not started.
         """
 
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """Indexed fast path over the picker's wanted-piece rarity index.
+
+        ``wanted`` buckets exactly the pieces the local peer misses and
+        has not started, keyed by copy count; the selector only has to
+        intersect buckets with what the remote offers.  Returns ``None``
+        when the remote offers no startable piece.  Implementations must
+        be trace-equivalent to :meth:`select` over the same candidates
+        (same result, same RNG consumption).
+        """
+        raise NotImplementedError(
+            "%s does not implement the indexed path" % type(self).__name__
+        )
+
     def __repr__(self) -> str:
         return "%s()" % type(self).__name__
 
@@ -61,6 +90,8 @@ class RarestFirstSelector(PieceSelector):
 
     name = "rarest-first"
 
+    uses_rarity_index = True
+
     def select(
         self,
         candidates: List[int],
@@ -72,6 +103,26 @@ class RarestFirstSelector(PieceSelector):
             piece for piece in candidates if availability[piece] == rarest_count
         ]
         return rng.choice(rarest_set)
+
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """Walk buckets from rarest up; the first non-empty intersection
+        with the remote's piece set *is* the rarest eligible set.
+
+        Sorting keeps the set in ascending piece order — the same order
+        the naive candidate scan produces — so ``rng.choice`` draws the
+        identical piece with the identical RNG consumption.
+        """
+        remote_have = remote_bitfield.have_set
+        for __, bucket in wanted.ascending():
+            eligible = bucket & remote_have
+            if eligible:
+                return rng.choice(sorted(eligible))
+        return None
 
 
 class RandomSelector(PieceSelector):

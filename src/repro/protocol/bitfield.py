@@ -10,13 +10,19 @@ library relies on: counting, iteration over set/missing pieces, and the
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import AbstractSet, Iterable, Iterator
 
 
 class Bitfield:
-    """Mutable fixed-size bitmap over ``num_pieces`` pieces."""
+    """Mutable fixed-size bitmap over ``num_pieces`` pieces.
 
-    __slots__ = ("_num_pieces", "_bits", "_count")
+    Alongside the wire-format bitmap, the held indices are mirrored in a
+    plain ``set`` so swarm-scale consumers (the rarity-bucket piece
+    index) can intersect piece sets at C speed instead of probing one
+    bit at a time.
+    """
+
+    __slots__ = ("_num_pieces", "_bits", "_count", "_have")
 
     def __init__(self, num_pieces: int, have: Iterable[int] = ()):
         if num_pieces < 0:
@@ -24,6 +30,7 @@ class Bitfield:
         self._num_pieces = num_pieces
         self._bits = bytearray((num_pieces + 7) // 8)
         self._count = 0
+        self._have: set = set()
         for index in have:
             self.set(index)
 
@@ -39,6 +46,7 @@ class Bitfield:
         if spare and field._bits:
             field._bits[-1] &= 0xFF << spare & 0xFF
         field._count = num_pieces
+        field._have = set(range(num_pieces))
         return field
 
     @classmethod
@@ -55,7 +63,12 @@ class Bitfield:
         spare = expected * 8 - num_pieces
         if spare and data and data[-1] & ((1 << spare) - 1):
             raise ValueError("spare bits in final bitfield byte are not zero")
-        field._count = sum(bin(byte).count("1") for byte in field._bits)
+        field._have = {
+            index
+            for index in range(num_pieces)
+            if field._bits[index >> 3] & (0x80 >> (index & 7))
+        }
+        field._count = len(field._have)
         return field
 
     def to_bytes(self) -> bytes:
@@ -66,6 +79,7 @@ class Bitfield:
         clone = Bitfield(self._num_pieces)
         clone._bits = bytearray(self._bits)
         clone._count = self._count
+        clone._have = set(self._have)
         return clone
 
     # -- single-piece operations ------------------------------------------
@@ -86,6 +100,7 @@ class Bitfield:
             return False
         self._bits[index >> 3] |= mask
         self._count += 1
+        self._have.add(index)
         return True
 
     def clear(self, index: int) -> bool:
@@ -96,6 +111,7 @@ class Bitfield:
             return False
         self._bits[index >> 3] &= ~mask & 0xFF
         self._count -= 1
+        self._have.discard(index)
         return True
 
     # -- aggregates --------------------------------------------------------
@@ -120,11 +136,17 @@ class Bitfield:
     def is_empty(self) -> bool:
         return self._count == 0
 
+    @property
+    def have_set(self) -> AbstractSet[int]:
+        """The held piece indices as a set (live view — do not mutate).
+
+        This is what makes rarity-bucket intersections O(min(|bucket|,
+        |have|)) at C speed; treat it as read-only."""
+        return self._have
+
     def have_indices(self) -> Iterator[int]:
         """Iterate over indices of held pieces, in increasing order."""
-        for index in range(self._num_pieces):
-            if self._bits[index >> 3] & (0x80 >> (index & 7)):
-                yield index
+        return iter(sorted(self._have))
 
     def missing_indices(self) -> Iterator[int]:
         """Iterate over indices of missing pieces, in increasing order."""
@@ -140,10 +162,9 @@ class Bitfield:
         """
         if other._num_pieces != self._num_pieces:
             raise ValueError("bitfields cover different torrents")
-        for ours, theirs in zip(self._bits, other._bits):
-            if theirs & ~ours:
-                return True
-        return False
+        theirs = int.from_bytes(other._bits, "big")
+        ours = int.from_bytes(self._bits, "big")
+        return bool(theirs & ~ours)
 
     def pieces_only_in(self, other: "Bitfield") -> Iterator[int]:
         """Indices held by *other* but missing here."""

@@ -68,6 +68,13 @@ class PeerConfig:
     strict_priority: bool = True
     """Finish partially-downloaded pieces before starting new ones."""
 
+    use_rarity_index: bool = True
+    """Drive piece selection through the picker's incremental rarity
+    index (O(rarest bucket) per pick) instead of the naive O(num_pieces)
+    availability scan.  Both paths are trace-equivalent given the same
+    seed; the naive path exists as the reference baseline for
+    equivalence tests and the engine-throughput benchmark."""
+
     seeding_time: Optional[float] = None
     """How long the peer stays as a seed after completing; None = forever."""
 

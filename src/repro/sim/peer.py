@@ -92,6 +92,7 @@ class Peer:
             random_first_threshold=config.random_first_threshold,
             strict_priority=config.strict_priority,
             endgame_enabled=config.endgame_enabled,
+            use_rarity_index=config.use_rarity_index,
         )
         self.leecher_choker = leecher_choker or LeecherChoker(
             optimistic_rounds=config.optimistic_rounds

@@ -88,7 +88,13 @@ class Swarm:
         self.result = SwarmResult(duration=0.0)
         self._next_host = 1
         self._upload_candidates: set = set()
-        self._flow_cache_key: Optional[frozenset] = None
+        # Flow-set fast path: the candidate set carries a generation
+        # counter bumped on every membership change, so a tick whose
+        # active flow set did not change reuses the sorted connection
+        # list AND the previous allocation without re-keying anything.
+        self._members_generation = 0
+        self._flows_generation = -1
+        self._active_connections: List[Connection] = []
         self._flow_cache: List[Flow] = []
         self._upload_caps: Dict[str, float] = {}
         self._download_caps: Dict[str, float] = {}
@@ -201,34 +207,41 @@ class Swarm:
 
     def note_upload_activity(self, connection: Connection) -> None:
         """A connection may now have something to serve."""
-        if connection.has_active_upload():
+        if (
+            connection.has_active_upload()
+            and connection not in self._upload_candidates
+        ):
             self._upload_candidates.add(connection)
+            self._members_generation += 1
 
     def forget_upload(self, connection: Connection) -> None:
-        self._upload_candidates.discard(connection)
+        if connection in self._upload_candidates:
+            self._upload_candidates.discard(connection)
+            self._members_generation += 1
 
     def on_tick(self, callback: Callable[[float], None]) -> None:
         """Register an analysis callback invoked after every fluid tick."""
         self._on_tick_callbacks.append(callback)
 
     def _tick(self) -> None:
-        dead = [
+        for connection in [
             connection
             for connection in self._upload_candidates
             if not connection.has_active_upload()
-        ]
-        for connection in dead:
-            self._upload_candidates.discard(connection)
-        active = sorted(
-            self._upload_candidates,
-            key=lambda c: (c.local.address, c.remote.address),
-        )
-        if active:
-            key = frozenset(
-                (connection.local.address, connection.remote.address)
-                for connection in active
-            )
-            if key != self._flow_cache_key:
+        ]:
+            self.forget_upload(connection)
+        if self._upload_candidates:
+            if self._flows_generation != self._members_generation:
+                # The active flow set changed since the last allocation:
+                # rebuild and re-run the (expensive) fair allocation.
+                # Unchanged sets — the common steady-state case — skip
+                # straight to advancing transfers at the cached rates,
+                # which are a pure function of the flow set and the
+                # static per-peer capacities.
+                active = sorted(
+                    self._upload_candidates,
+                    key=lambda c: (c.local.address, c.remote.address),
+                )
                 flows = [
                     Flow(connection.local.address, connection.remote.address)
                     for connection in active
@@ -239,16 +252,18 @@ class Swarm:
                     )
                 else:
                     max_min_allocation(flows, self._upload_caps, self._download_caps)
-                self._flow_cache_key = key
+                self._active_connections = active
                 self._flow_cache = flows
+                self._flows_generation = self._members_generation
             dt = self.config.tick_interval
-            for connection, flow in zip(active, self._flow_cache):
+            for connection, flow in zip(self._active_connections, self._flow_cache):
                 moved = min(flow.rate * dt, connection.queued_upload_bytes())
                 connection.local.advance_uploads(connection, flow.rate * dt)
                 self.result.bytes_moved += max(0.0, moved)
         else:
-            self._flow_cache_key = None
+            self._active_connections = []
             self._flow_cache = []
+            self._flows_generation = self._members_generation
         self.result.capacity_seconds += self.config.tick_interval * sum(
             self._upload_caps.values()
         )

@@ -1,5 +1,7 @@
 """Tests for the max-min fair and upload-fair bandwidth allocators."""
 
+from random import Random
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -157,6 +159,49 @@ def test_property_maxmin_is_maximal(network):
             1.0, down_cap
         )
         assert up_saturated or down_saturated
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_upload_fair_matches_maxmin_when_upload_constrained(seed):
+    """In the paper's regime — upload caps far below download caps — the
+    one-pass upload-fair model and full max-min progressive filling must
+    agree flow for flow: only uploader links ever saturate, and both
+    models then split each uploader's capacity equally over its flows."""
+    rng = Random(seed)
+    num_up = rng.randint(1, 6)
+    num_down = rng.randint(1, 6)
+    # Uploads of a few units vs downloads of thousands: the downloader
+    # cap can never bind (at most 6 uploaders x 10 units inbound).
+    uploads = {"u%d" % i: rng.uniform(1.0, 10.0) for i in range(num_up)}
+    downloads = {"d%d" % i: rng.uniform(1000.0, 2000.0) for i in range(num_down)}
+    flows = [
+        Flow(
+            rng.choice(sorted(uploads)),
+            rng.choice(sorted(downloads)),
+        )
+        for __ in range(rng.randint(1, 12))
+    ]
+    reference = [Flow(f.uploader, f.downloader) for f in flows]
+    max_min_allocation(flows, uploads, downloads)
+    upload_fair_allocation(reference, uploads, downloads)
+    for maxmin_flow, fair_flow in zip(flows, reference):
+        assert maxmin_flow.rate == pytest.approx(fair_flow.rate, rel=1e-6)
+
+
+class TestUnconstrainedFlows:
+    def test_fully_unconstrained_flow_is_infinitely_fast(self):
+        # Neither endpoint has a capacity entry: the model treats the
+        # flow as infinitely fast rather than stalling or raising.
+        flows = [Flow("a", "b")]
+        max_min_allocation(flows, {}, {})
+        assert flows[0].rate == float("inf")
+
+    def test_unconstrained_flow_does_not_starve_constrained_one(self):
+        flows = [Flow("a", "x"), Flow("b", "y")]
+        max_min_allocation(flows, {"a": 10.0}, {})
+        rates = {f.uploader: f.rate for f in flows}
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == float("inf")
 
 
 @given(_random_network())

@@ -1,0 +1,119 @@
+"""Old-vs-new equivalence: the indexed picker must be a pure speedup.
+
+The rarity-bucket index (``use_rarity_index=True``, the default) claims
+to be behaviour-preserving: given the same seed, a swarm of indexed
+pickers must execute the *identical* schedule as a swarm of naive
+pickers — same RNG consumption, same piece selections, same completion
+order, same rarest-pieces-set trajectory.  These tests run the same
+seeded scenario twice, once per mode, and compare the traces event for
+event.  The engine-throughput benchmark relies on this equivalence to
+call its naive/indexed timing comparison apples-to-apples.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.protocol.metainfo import make_metainfo
+from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.swarm import Swarm
+
+
+def build_swarm(seed, num_pieces, num_leechers, use_rarity_index, churn=False):
+    metainfo = make_metainfo(
+        "equivalence-%d" % seed,
+        num_pieces=num_pieces,
+        piece_size=4 * KIB,
+        block_size=1 * KIB,
+    )
+    swarm = Swarm(metainfo, SwarmConfig(seed=seed))
+    rng = Random(seed)
+
+    def config():
+        return PeerConfig(
+            upload_capacity=rng.choice([2, 4, 8]) * KIB,
+            use_rarity_index=use_rarity_index,
+            seeding_time=(rng.choice([20.0, None]) if churn else None),
+        )
+
+    swarm.add_peer(config=config(), is_seed=True)
+    for __ in range(num_leechers):
+        delay = rng.uniform(0.0, 30.0)
+        swarm.schedule_arrival(delay, config=config())
+    return swarm
+
+
+def run_traced(seed, num_pieces, num_leechers, use_rarity_index, churn=False):
+    """Run one swarm, recording every piece replication and per-tick
+    rarest-pieces-set snapshots of every online peer."""
+    swarm = build_swarm(seed, num_pieces, num_leechers, use_rarity_index, churn)
+    replications = []
+    original = swarm.on_piece_replicated
+
+    def record(peer, piece):
+        replications.append((swarm.simulator.now, peer.address, piece))
+        original(peer, piece)
+
+    swarm.on_piece_replicated = record
+    rarest_snapshots = []
+
+    def snapshot(now):
+        rarest_snapshots.append(
+            [
+                (address, swarm.peers[address].picker.rarest_pieces_set())
+                for address in sorted(swarm.peers)
+            ]
+        )
+
+    swarm.on_tick(snapshot)
+    result = swarm.run(250)
+    final_bitfields = {
+        address: sorted(peer.bitfield.have_set)
+        for address, peer in swarm.peers.items()
+    }
+    return {
+        "replications": replications,
+        "rarest_snapshots": rarest_snapshots,
+        "completions": sorted(result.completions.items()),
+        "bytes_moved": result.bytes_moved,
+        "final_bitfields": final_bitfields,
+    }
+
+
+@pytest.mark.parametrize("seed", [0, 7, 42])
+def test_indexed_and_naive_traces_identical(seed):
+    naive = run_traced(seed, num_pieces=16, num_leechers=5, use_rarity_index=False)
+    indexed = run_traced(seed, num_pieces=16, num_leechers=5, use_rarity_index=True)
+    # Piece completions happen at the same instants, by the same peers,
+    # in the same order...
+    assert indexed["replications"] == naive["replications"]
+    # ...the availability view evolves identically tick for tick...
+    assert indexed["rarest_snapshots"] == naive["rarest_snapshots"]
+    # ...and the aggregate outcome is bit-identical.
+    assert indexed["completions"] == naive["completions"]
+    assert indexed["bytes_moved"] == naive["bytes_moved"]
+    assert indexed["final_bitfields"] == naive["final_bitfields"]
+
+
+def test_traces_identical_under_churn():
+    """Seed departures exercise peer_left / on_peer_gone index paths."""
+    naive = run_traced(3, num_pieces=12, num_leechers=4, use_rarity_index=False, churn=True)
+    indexed = run_traced(3, num_pieces=12, num_leechers=4, use_rarity_index=True, churn=True)
+    assert indexed["replications"] == naive["replications"]
+    assert indexed["rarest_snapshots"] == naive["rarest_snapshots"]
+    assert indexed["final_bitfields"] == naive["final_bitfields"]
+
+
+def test_modes_are_actually_different_code_paths():
+    """Guard against the equivalence test passing vacuously: the two
+    modes must report different `uses_rarity_index` flags."""
+    naive_swarm = build_swarm(1, 8, 1, use_rarity_index=False)
+    indexed_swarm = build_swarm(1, 8, 1, use_rarity_index=True)
+    assert all(
+        not peer.picker.uses_rarity_index
+        for peer in naive_swarm.peers.values()
+    )
+    assert all(
+        peer.picker.uses_rarity_index
+        for peer in indexed_swarm.peers.values()
+    )

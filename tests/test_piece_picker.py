@@ -213,6 +213,34 @@ class TestBlockAccounting:
         # piece has progress: stays active, next request resumes it
         assert picker.active_pieces == [first.piece]
 
+    def test_released_blocks_rerequested_in_offset_order(self):
+        """Blocks released by a departure re-enter the unrequested pool in
+        offset order, interleaved correctly with never-requested blocks."""
+        picker, __, geometry = make_picker(num_pieces=1, blocks_per_piece=6)
+        picker.peer_joined(full_remote(1))
+        for __ in range(4):  # blocks 0-3 in flight to p, 4-5 unrequested
+            picker.next_request(full_remote(1), "p")
+        released = picker.on_peer_gone("p")
+        assert [b.offset // 16 for b in released] == [0, 1, 2, 3]
+        offsets = [
+            picker.next_request(full_remote(1), "q").offset // 16
+            for __ in range(6)
+        ]
+        assert offsets == [0, 1, 2, 3, 4, 5]
+
+    def test_partial_release_interleaves_with_unrequested(self):
+        picker, __, geometry = make_picker(num_pieces=1, blocks_per_piece=4)
+        picker.peer_joined(full_remote(1))
+        first = picker.next_request(full_remote(1), "p")   # block 0
+        second = picker.next_request(full_remote(1), "q")  # block 1
+        picker.on_block_received(first, "p")
+        picker.on_peer_gone("q")  # block 1 released, 2-3 never requested
+        offsets = [
+            picker.next_request(full_remote(1), "r").offset // 16
+            for __ in range(3)
+        ]
+        assert offsets == [1, 2, 3]
+
     def test_pending_requests_to(self):
         picker, __, geometry = make_picker(num_pieces=2)
         picker.peer_joined(full_remote(2))
@@ -263,6 +291,42 @@ class TestEndGame:
         # 7 blocks still unrequested; peer q lacking both pieces gets None
         empty = Bitfield(2)
         assert picker.next_request(empty, "q") is None
+        assert not picker.in_endgame
+
+    def test_reset_piece_leaves_endgame(self):
+        """A hash-failed piece means whole blocks are unrequested again,
+        so the end-game flag must drop until everything is back in flight
+        (regression: the flag used to stay stale after reset_piece)."""
+        picker, bitfield, geometry = make_picker(num_pieces=1)
+        picker.peer_joined(full_remote(1))
+        blocks = [picker.next_request(full_remote(1), "p") for __ in range(4)]
+        assert picker.next_request(full_remote(1), "q") is not None
+        assert picker.in_endgame
+        for block in blocks:
+            picker.on_block_received(block, "p")
+        assert bitfield.has(0)
+        picker.reset_piece(0)  # hash check failed
+        assert not picker.in_endgame
+        # The re-download starts with fresh (non-duplicate) requests and
+        # end game only re-triggers once every block is in flight again.
+        seen = set()
+        for __ in range(4):
+            block = picker.next_request(full_remote(1), "p")
+            seen.add(block.offset)
+        assert len(seen) == 4
+        assert picker.next_request(full_remote(1), "q") is not None
+        assert picker.in_endgame
+
+    def test_on_peer_gone_leaves_endgame(self):
+        picker, __, geometry = make_picker(num_pieces=1)
+        picker.peer_joined(full_remote(1))
+        first = picker.next_request(full_remote(1), "p")
+        picker.on_block_received(first, "p")
+        for __ in range(3):
+            picker.next_request(full_remote(1), "p")
+        assert picker.next_request(full_remote(1), "q") is not None
+        assert picker.in_endgame
+        picker.on_peer_gone("p")  # releases p's in-flight blocks
         assert not picker.in_endgame
 
 

@@ -140,3 +140,55 @@ class TestBandwidthModelChoice:
         leecher = swarm.add_peer(config=fast_config())
         swarm.run(300)
         assert leecher.bitfield.is_complete()
+
+
+class TestFlowFastPath:
+    """The per-tick allocation cache: ticks whose active flow set did not
+    change reuse the previous rates instead of re-running the allocator."""
+
+    def test_allocation_skipped_on_unchanged_flow_set(self, monkeypatch):
+        import repro.sim.swarm as swarm_module
+
+        calls = []
+        original = swarm_module.max_min_allocation
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(swarm_module, "max_min_allocation", counting)
+        config = SwarmConfig(seed=5, tick_interval=1.0)
+        swarm = tiny_swarm(num_pieces=32, swarm_config=config)
+        swarm.add_peer(config=fast_config(upload=2 * KIB), is_seed=True)
+        swarm.add_peer(config=fast_config(upload=2 * KIB))
+        ticks = []
+        swarm.on_tick(lambda now: ticks.append(now))
+        swarm.run(60)  # a long steady transfer: one seed, one leecher
+        assert calls  # the allocator did run...
+        assert len(calls) < len(ticks)  # ...but far from every tick
+
+    def test_cached_rates_match_per_tick_recompute(self):
+        """Forcing a re-allocation every tick (by bumping the membership
+        generation) must not change the outcome: the cache is a pure
+        function of the flow set and the static capacities."""
+
+        def run_once(force_recompute):
+            config = SwarmConfig(seed=11, tick_interval=1.0)
+            swarm = tiny_swarm(num_pieces=16, swarm_config=config)
+            swarm.add_peer(config=fast_config(), is_seed=True)
+            for __ in range(3):
+                swarm.add_peer(config=fast_config(upload=2 * KIB))
+            if force_recompute:
+
+                def invalidate(now):
+                    swarm._members_generation += 1
+
+                swarm.on_tick(invalidate)
+            result = swarm.run(200)
+            return (
+                result.bytes_moved,
+                sorted(result.completions.items()),
+                {a: p.bitfield.count for a, p in swarm.peers.items()},
+            )
+
+        assert run_once(False) == run_once(True)
