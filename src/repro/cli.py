@@ -121,6 +121,12 @@ def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
         "--duration", type=float, default=None,
         help="override the scenario's run length (simulated seconds)",
     )
+    parser.add_argument(
+        "--faults", choices=["off", "light", "heavy"], default="off",
+        help="inject faults: 'light' = 2%% message loss + jitter + one "
+        "60 s tracker outage; 'heavy' adds peer crashes, duplication "
+        "and piece corruption (default: off)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -174,8 +180,23 @@ def _run_experiment(args: argparse.Namespace) -> Instrumentation:
         ),
         file=sys.stderr,
     )
-    harness = build_experiment(scenario, seed=args.seed)
-    return harness.run()
+    swarm_config = None
+    if getattr(args, "faults", "off") != "off":
+        from repro.sim.config import SwarmConfig
+        from repro.sim.faults import FAULT_PRESETS
+
+        swarm_config = SwarmConfig(
+            seed=args.seed,
+            duration=scenario.duration,
+            faults=FAULT_PRESETS[args.faults],
+        )
+        print("fault injection: %s preset" % args.faults, file=sys.stderr)
+    harness = build_experiment(scenario, seed=args.seed, swarm_config=swarm_config)
+    trace = harness.run()
+    if harness.swarm.faults is not None:
+        stats = dict(harness.swarm.faults.stats)
+        print("injected faults: %s" % (stats or "none hit"), file=sys.stderr)
+    return trace
 
 
 def _cmd_run(args: argparse.Namespace) -> int:

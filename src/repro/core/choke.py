@@ -205,11 +205,15 @@ class SeedChoker(Choker):
             kept = [c.key for c in ranked[: self._slots - 1]]
             pool = [c.key for c in interested if c.choked and c.key not in kept]
             sru = rng.choice(pool) if pool else None
-            decision.unchoked = list(kept)
             if sru is not None:
-                decision.unchoked.append(sru)
+                decision.unchoked = kept + [sru]
                 decision.optimistic = sru
                 self._last_unchoked[sru] = now
+            else:
+                # No choked-and-interested peer to promote: keep the full
+                # ``slots`` ranked peers rather than idling one upload
+                # slot for the round.
+                decision.unchoked = [c.key for c in ranked[: self._slots]]
         else:
             # Third period: keep the 4 most recently unchoked.
             decision.unchoked = [c.key for c in ranked[: self._slots]]

@@ -172,6 +172,11 @@ class Instrumentation(PeerObserver):
         self.seed_state_at: Optional[float] = None
         self.endgame_at: Optional[float] = None
         self.hash_failures: List[Tuple[float, int]] = []
+        self.fault_counters: Dict[str, int] = {}
+        """Injected-fault events observed at the local peer, keyed by
+        kind (``announce_failure``, ``announce_retry``,
+        ``connection_reaped``, ``stale_requests_reset``,
+        ``hash_failure_injected``); empty when fault injection is off."""
         self.messages_sent = 0
         self.messages_received = 0
         self._record_rates = record_rates
@@ -303,8 +308,17 @@ class Instrumentation(PeerObserver):
                     if missing == 1 and not connection.remote_bitfield.has(message.piece):
                         record.remote_seed_since = now
                 else:
+                    num_pieces = connection.remote_bitfield.num_pieces
                     ones = sum(bin(byte).count("1") for byte in message.bits)
-                    if ones >= connection.remote_bitfield.num_pieces:
+                    # Spare padding bits of the final byte must not count
+                    # toward seed detection: a leecher advertising a
+                    # sloppily padded bitfield is still a leecher.
+                    spare = len(message.bits) * 8 - num_pieces
+                    if spare > 0 and message.bits:
+                        ones -= bin(
+                            message.bits[-1] & ((1 << spare) - 1)
+                        ).count("1")
+                    if ones >= num_pieces:
                         record.remote_seed_since = now
 
     # ------------------------------------------------------------------
@@ -370,6 +384,9 @@ class Instrumentation(PeerObserver):
 
     def on_hash_failure(self, now: float, piece: int) -> None:
         self.hash_failures.append((now, piece))
+
+    def on_fault(self, now: float, kind: str) -> None:
+        self.fault_counters[kind] = self.fault_counters.get(kind, 0) + 1
 
     # ------------------------------------------------------------------
     # finalisation

@@ -10,18 +10,24 @@ in this reproduction.  It provides:
 * :mod:`repro.sim.connection` — per-link protocol state;
 * :mod:`repro.sim.peer` — a complete BitTorrent client;
 * :mod:`repro.sim.swarm` — scenario orchestration;
-* :mod:`repro.sim.churn` — arrival/departure processes.
+* :mod:`repro.sim.churn` — arrival/departure processes;
+* :mod:`repro.sim.faults` — seeded fault injection (lossy links, peer
+  crashes, tracker outages, piece corruption).
 """
 
 from repro.sim.bandwidth import Flow, max_min_allocation
-from repro.sim.config import PeerConfig, SwarmConfig
+from repro.sim.config import FaultConfig, PeerConfig, SwarmConfig
 from repro.sim.connection import Connection
 from repro.sim.engine import Simulator, Timer
+from repro.sim.faults import FAULT_PRESETS, FaultPlan
 from repro.sim.peer import Peer, PeerState
 from repro.sim.swarm import Swarm, SwarmResult
 
 __all__ = [
     "Connection",
+    "FAULT_PRESETS",
+    "FaultConfig",
+    "FaultPlan",
     "Flow",
     "max_min_allocation",
     "Peer",

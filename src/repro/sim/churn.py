@@ -40,6 +40,9 @@ def poisson_arrivals(
         raise ValueError("arrival rate must be positive")
     rng = rng or Random(swarm.rng.getrandbits(64))
     count = 0
+    # ``start`` may lie before the current simulated clock (e.g. a churn
+    # process attached mid-run with start=0): arrivals whose time has
+    # already passed are clamped to "now" by schedule_arrival below.
     when = start + rng.expovariate(rate)
     while when < start + duration:
         config = config_factory(rng)

@@ -101,6 +101,107 @@ class PeerConfig:
             raise ValueError("request_pipeline_depth must be positive")
 
 
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs (all off by default).
+
+    A :class:`~repro.sim.swarm.Swarm` given a config whose
+    :attr:`enabled` property is False behaves *byte-identically* to one
+    given no fault config at all: no extra RNG draws, no extra timers,
+    no code-path divergence.  Every injected fault draws from a single
+    dedicated fault RNG stream, so runs with the same seed and the same
+    fault config are reproducible.
+    """
+
+    message_loss_rate: float = 0.0
+    """Probability that a peer-wire message is silently dropped in
+    flight.  BITFIELD messages are exempt (they ride the handshake,
+    which the simulator models as reliable)."""
+
+    message_duplicate_rate: float = 0.0
+    """Probability that a delivered message arrives twice.  PIECE
+    messages are exempt (the picker already ignores duplicate blocks;
+    duplicating them would only distort byte accounting)."""
+
+    extra_jitter: float = 0.0
+    """Maximum extra one-way delivery delay in seconds, drawn uniformly
+    per message.  Positive jitter breaks per-link FIFO ordering, which
+    is exactly the reordering stress it exists to inject."""
+
+    crash_probability: float = 0.0
+    """Per-peer probability of an abrupt crash at each crash sweep: the
+    peer vanishes with no ``stopped`` announce and no FIN, leaving
+    half-open connections its neighbours must reap."""
+
+    crash_interval: float = 60.0
+    """Seconds between crash sweeps."""
+
+    tracker_outages: tuple = ()
+    """``(start, duration)`` windows (simulated seconds) during which
+    every tracker announce fails with
+    :class:`~repro.tracker.tracker.TrackerUnavailable`."""
+
+    announce_retry_base: float = 5.0
+    """First announce-retry delay; doubles per failed attempt."""
+
+    announce_retry_cap: float = 120.0
+    """Upper bound on the exponential announce-retry delay."""
+
+    announce_retry_jitter: float = 0.25
+    """Fractional jitter applied to each retry delay (+/-)."""
+
+    hash_failure_rate: float = 0.0
+    """Probability that a completed piece is corrupted in flight: the
+    peer observes a hash failure and re-downloads the piece through the
+    existing ``on_hash_failure``/``reset_piece`` path."""
+
+    idle_timeout: float = 120.0
+    """Seconds of silence after which a half-open connection (remote
+    endpoint dead) is reaped, standing in for TCP keep-alive."""
+
+    request_timeout: float = 60.0
+    """Age after which in-flight block requests on a link are considered
+    lost and released back to the picker."""
+
+    sweep_interval: float = 20.0
+    """Period of each peer's fault sweep (reaping, request timeouts,
+    keep-alive state refresh)."""
+
+    def __post_init__(self) -> None:
+        for name in ("message_loss_rate", "message_duplicate_rate",
+                     "crash_probability", "hash_failure_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("%s must be in [0, 1]" % name)
+        if self.message_loss_rate >= 1.0:
+            raise ValueError("message_loss_rate must be < 1 (total loss deadlocks)")
+        if self.extra_jitter < 0:
+            raise ValueError("extra_jitter must be non-negative")
+        for name in ("crash_interval", "announce_retry_base",
+                     "announce_retry_cap", "idle_timeout",
+                     "request_timeout", "sweep_interval"):
+            if getattr(self, name) <= 0:
+                raise ValueError("%s must be positive" % name)
+        if not 0.0 <= self.announce_retry_jitter < 1.0:
+            raise ValueError("announce_retry_jitter must be in [0, 1)")
+        for window in self.tracker_outages:
+            start, duration = window
+            if start < 0 or duration <= 0:
+                raise ValueError("outage windows need start >= 0, duration > 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault source is actually configured."""
+        return bool(
+            self.message_loss_rate > 0
+            or self.message_duplicate_rate > 0
+            or self.extra_jitter > 0
+            or self.crash_probability > 0
+            or self.hash_failure_rate > 0
+            or self.tracker_outages
+        )
+
+
 @dataclass
 class SwarmConfig:
     """Swarm-level simulation parameters."""
@@ -137,6 +238,11 @@ class SwarmConfig:
 
     duration: float = 4000.0
     """Default run length in simulated seconds."""
+
+    faults: Optional[FaultConfig] = None
+    """Fault-injection plan; None (default) or a config whose
+    ``enabled`` is False leaves the simulation byte-identical to the
+    fault-free code path."""
 
     extra: dict = field(default_factory=dict)
     """Free-form scenario knobs recorded alongside results."""

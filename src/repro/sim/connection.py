@@ -15,7 +15,7 @@ advances.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from repro.core.rate_estimator import ByteCounter
 from repro.protocol.bitfield import Bitfield
@@ -45,6 +45,8 @@ class Connection:
         "uploaded",
         "downloaded",
         "outstanding",
+        "request_times",
+        "last_message_at",
         "last_unchoked_local",
         "unchokes_given",
     )
@@ -75,6 +77,8 @@ class Connection:
         self.downloaded = ByteCounter(rate_window)
         # Download direction (local requests from remote).
         self.outstanding: set = set()  # BlockRefs requested, not yet received
+        self.request_times: Dict[BlockRef, float] = {}  # request issue times
+        self.last_message_at = now  # last time anything arrived on this link
         # Choke bookkeeping for the seed algorithm and figure 10.
         self.last_unchoked_local: Optional[float] = None
         self.unchokes_given = 0
@@ -128,6 +132,14 @@ class Connection:
     def clear_upload_queue(self) -> None:
         self.upload_queue.clear()
         self.upload_progress = 0.0
+
+    # -- liveness ----------------------------------------------------------
+
+    @property
+    def half_open(self) -> bool:
+        """True when the remote endpoint is gone (crashed peer) but this
+        endpoint has not noticed yet."""
+        return not self.closed and (self.twin is None or self.twin.closed)
 
     # -- identity ----------------------------------------------------------
 

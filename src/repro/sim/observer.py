@@ -66,3 +66,11 @@ class PeerObserver:
 
     def on_hash_failure(self, now: float, piece: int) -> None:
         """A completed piece failed SHA-1 verification."""
+
+    def on_fault(self, now: float, kind: str) -> None:
+        """The observed peer hit or recovered from an injected fault.
+
+        ``kind`` is a short counter key: ``"announce_failure"``,
+        ``"announce_retry"``, ``"connection_reaped"``,
+        ``"stale_requests_reset"``, ``"hash_failure_injected"``, ...
+        """

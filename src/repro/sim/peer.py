@@ -43,6 +43,7 @@ from repro.sim.config import PeerConfig
 from repro.sim.connection import Connection
 from repro.sim.engine import Simulator, Timer
 from repro.sim.observer import PeerObserver
+from repro.tracker.tracker import TrackerUnavailable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.swarm import Swarm
@@ -126,6 +127,7 @@ class Peer:
         self._active_reveal: Dict[str, int] = {}
         self._choke_timer: Optional[Timer] = None
         self._announce_timer: Optional[Timer] = None
+        self._fault_timer: Optional[Timer] = None
         self._last_refill = -float("inf")
         self._was_in_endgame = False
         self._departure_handle = None
@@ -166,14 +168,11 @@ class Peer:
         self.online = True
         self.joined_at = self.simulator.now
         self._materialize = self.swarm.config.verify_piece_hashes
-        addresses = self.swarm.tracker.announce(
-            self.address,
+        self._announce(
             event="started",
             num_want=self.swarm.config.tracker_num_want,
-            is_seed=self.is_seed,
+            connect=True,
         )
-        for remote_address in addresses:
-            self._try_initiate(remote_address)
         # Stagger choke rounds across the population with a random phase.
         phase = self.rng.uniform(0.0, self.config.choke_interval)
         self._choke_timer = Timer(
@@ -187,30 +186,102 @@ class Peer:
             self.swarm.config.announce_interval,
             self._periodic_announce,
         )
+        plan = self.swarm.faults
+        if plan is not None:
+            # Stagger fault sweeps too, so the population does not reap
+            # and refresh in lockstep.
+            sweep = plan.config.sweep_interval
+            self._fault_timer = Timer(
+                self.simulator,
+                sweep,
+                self._fault_sweep,
+                start_at=self.simulator.now + self.rng.uniform(0.0, sweep),
+            )
 
     def leave(self) -> None:
         """Depart the torrent, closing every connection."""
         if not self.online:
             return
         self.online = False
+        self._stop_timers()
+        for connection in list(self.connections.values()):
+            self._close_connection(connection, notify_remote=True)
+        self._announce(event="stopped", num_want=0)
+        self.swarm.on_peer_left(self)
+
+    def crash(self) -> None:
+        """Abrupt failure: no ``stopped`` announce, no FIN to remotes.
+
+        Every neighbour is left with a half-open connection that only an
+        idle-timeout reap (the fault sweep) can clean up — the behaviour
+        of a client that is killed or loses connectivity."""
+        if not self.online:
+            return
+        self.online = False
+        self._stop_timers()
+        for connection in list(self.connections.values()):
+            # Close only the local endpoint; the twin stays open.
+            connection.closed = True
+            connection.clear_upload_queue()
+            self.swarm.forget_upload(connection)
+        self.connections.clear()
+        self.swarm.on_peer_crashed(self)
+
+    def _stop_timers(self) -> None:
         if self._choke_timer:
             self._choke_timer.stop()
         if self._announce_timer:
             self._announce_timer.stop()
-        for connection in list(self.connections.values()):
-            self._close_connection(connection, notify_remote=True)
-        self.swarm.tracker.announce(
-            self.address, event="stopped", num_want=0, is_seed=self.is_seed
-        )
-        self.swarm.on_peer_left(self)
+        if self._fault_timer:
+            self._fault_timer.stop()
+        if self._departure_handle is not None:
+            self._departure_handle.cancel()
+            self._departure_handle = None
+
+    # ------------------------------------------------------------------
+    # tracker announces (with outage retry)
+    # ------------------------------------------------------------------
+
+    def _announce(
+        self, event: str, num_want: int, connect: bool = False, attempt: int = 0
+    ) -> None:
+        """Announce to the tracker; retry with exponential backoff when an
+        injected outage makes it fail (§II-B behaviour under faults).
+
+        ``connect`` initiates connections to the returned addresses once
+        the announce eventually succeeds."""
+        now = self.simulator.now
+        try:
+            addresses = self.swarm.tracker.announce(
+                self.address,
+                event=event,
+                num_want=num_want,
+                is_seed=self.is_seed,
+            )
+        except TrackerUnavailable:
+            plan = self.swarm.faults
+            if plan is None:  # pragma: no cover - outages imply a plan
+                raise
+            plan.stats["announce_failures"] += 1
+            if self.observer:
+                self.observer.on_fault(now, "announce_failure")
+            if not self.online and event != "stopped":
+                return  # departed while waiting; nothing to retry for
+            delay = plan.retry_delay(attempt, self.rng)
+            plan.stats["announce_retries"] += 1
+            if self.observer:
+                self.observer.on_fault(now, "announce_retry")
+            self.simulator.schedule(
+                delay,
+                lambda: self._announce(event, num_want, connect, attempt + 1),
+            )
+            return
+        if connect and self.online:
+            for remote_address in addresses:
+                self._try_initiate(remote_address)
 
     def _periodic_announce(self) -> None:
-        self.swarm.tracker.announce(
-            self.address,
-            event="",
-            num_want=0,
-            is_seed=self.is_seed,
-        )
+        self._announce(event="", num_want=0)
 
     # ------------------------------------------------------------------
     # peer-set management
@@ -333,6 +404,7 @@ class Peer:
         self.picker.on_peer_gone(connection.remote_key)
         connection.clear_upload_queue()
         connection.outstanding.clear()
+        connection.request_times.clear()
         self.swarm.forget_upload(connection)
         if self.super_seeding:
             # Reveals to a departed peer are wasted ("seed wastage") but
@@ -358,16 +430,11 @@ class Peer:
         if now - self._last_refill < 30.0:
             return  # rate-limit tracker refills
         self._last_refill = now
-        addresses = self.swarm.tracker.announce(
-            self.address,
+        self._announce(
             event="",
             num_want=self.swarm.config.tracker_num_want,
-            is_seed=self.is_seed,
+            connect=True,
         )
-        for remote_address in addresses:
-            if self.peer_set_size >= self.config.max_peer_set:
-                break
-            self._try_initiate(remote_address)
 
     # ------------------------------------------------------------------
     # messaging
@@ -380,9 +447,25 @@ class Peer:
             self.observer.on_message_sent(self.simulator.now, connection, message)
         remote = connection.remote
         twin = connection.twin
-        if twin is None or twin.closed:  # pragma: no cover - defensive
+        if twin is None or twin.closed:
+            # Half-open link (the remote crashed): bytes fall into the
+            # void until the fault sweep reaps the connection.
             return
         latency = self.swarm.config.message_latency
+        plan = self.swarm.faults
+        if plan is not None and plan.affects_messages:
+            for extra in plan.deliveries(message):
+                delay = latency + extra
+                if delay > 0:
+                    self.simulator.schedule(
+                        delay,
+                        lambda: None
+                        if twin.closed
+                        else remote._receive(twin, message),
+                    )
+                else:
+                    remote._receive(twin, message)
+            return
         if latency > 0:
             # Constant latency keeps per-link FIFO order (heap ties break
             # by insertion); delivery is skipped if the link closed.
@@ -396,6 +479,7 @@ class Peer:
     def _receive(self, connection: Connection, message: Message) -> None:
         if connection.closed:
             return
+        connection.last_message_at = self.simulator.now
         if self.observer:
             self.observer.on_message_received(self.simulator.now, connection, message)
         if isinstance(message, BitfieldMessage):
@@ -454,6 +538,7 @@ class Peer:
         # to the picker so another peer can serve them.
         self.picker.on_peer_gone(connection.remote_key)
         connection.outstanding.clear()
+        connection.request_times.clear()
 
     def _handle_unchoke(self, connection: Connection) -> None:
         connection.peer_choking = False
@@ -464,7 +549,12 @@ class Peer:
 
     def _handle_request(self, connection: Connection, message: Request) -> None:
         if connection.am_choking:
-            return  # requests received while choking are dropped
+            # Requests received while choking are dropped.  Under message
+            # faults the remote may have missed our CHOKE; resend it so
+            # its view of the link re-synchronises.
+            if self.swarm.faults is not None:
+                self._send(connection, Choke())
+            return
         if not self.bitfield.has(message.piece):
             return
         if self.super_seeding and message.piece not in self._revealed_to.get(
@@ -489,6 +579,7 @@ class Peer:
         except IndexError:
             return
         connection.outstanding.discard(block)
+        connection.request_times.pop(block, None)
         if self.bitfield.has(block.piece):
             return  # late duplicate (end game)
         if self._materialize:
@@ -503,10 +594,14 @@ class Peer:
             self.observer.on_block_received(
                 self.simulator.now, connection, block.piece, block.offset, block.length
             )
-        for key in cancel_keys:
+        # Sorted so the CANCEL send order (and hence any RNG draws made
+        # per message) never depends on set iteration order / the
+        # process hash seed.
+        for key in sorted(cancel_keys):
             other = self.connections.get(key)
             if other is not None:
                 other.outstanding.discard(block)
+                other.request_times.pop(block, None)
                 self._send(
                     other,
                     Cancel(piece=block.piece, offset=block.offset, length=block.length),
@@ -522,6 +617,16 @@ class Peer:
 
     def _on_piece_completed(self, piece: int) -> None:
         now = self.simulator.now
+        plan = self.swarm.faults
+        if plan is not None and plan.should_fail_hash():
+            # Injected corruption: the piece fails its hash check and is
+            # re-downloaded, exactly as with a real SHA-1 mismatch.
+            if self.observer:
+                self.observer.on_hash_failure(now, piece)
+                self.observer.on_fault(now, "hash_failure_injected")
+            self._piece_buffers.pop(piece, None)
+            self.picker.reset_piece(piece)
+            return
         if self._materialize:
             data = bytes(self._piece_buffers.pop(piece, b""))
             if not self.metainfo.verify_piece(piece, data):
@@ -577,6 +682,7 @@ class Peer:
             if block is None:
                 break
             connection.outstanding.add(block)
+            connection.request_times[block] = self.simulator.now
             self._send(
                 connection,
                 Request(piece=block.piece, offset=block.offset, length=block.length),
@@ -657,6 +763,75 @@ class Peer:
                     self._send(connection, Choke())
 
     # ------------------------------------------------------------------
+    # fault sweep (only runs when a FaultPlan is installed)
+    # ------------------------------------------------------------------
+
+    def _fault_sweep(self) -> None:
+        """Periodic resilience pass: reap half-open connections, release
+        stale in-flight requests, and refresh link state that a lost
+        control message may have desynchronised (keep-alive stand-in)."""
+        if not self.online:
+            return
+        plan = self.swarm.faults
+        if plan is None:  # pragma: no cover - timer only exists with a plan
+            return
+        now = self.simulator.now
+        config = plan.config
+        for connection in list(self.connections.values()):
+            if connection.closed:
+                continue
+            if (
+                connection.half_open
+                and now - connection.last_message_at >= config.idle_timeout
+            ):
+                # The remote endpoint is dead (peer crashed) and the link
+                # has been silent past the keep-alive timeout: reap it.
+                plan.stats["connections_reaped"] += 1
+                if self.observer:
+                    self.observer.on_fault(now, "connection_reaped")
+                self._close_connection(connection, notify_remote=False)
+                continue
+            if connection.request_times and any(
+                now - issued >= config.request_timeout
+                for issued in connection.request_times.values()
+            ):
+                # Requests (or the PIECE replies) were lost: hand every
+                # block on this link back to the picker.  Re-requesting
+                # waits for the remote's next UNCHOKE refresh, so a link
+                # that is actually choked does not re-pin the blocks.
+                plan.stats["stale_requests_reset"] += 1
+                if self.observer:
+                    self.observer.on_fault(now, "stale_requests_reset")
+                self.picker.on_peer_gone(connection.remote_key)
+                connection.outstanding.clear()
+                connection.request_times.clear()
+            if plan.affects_messages:
+                self._refresh_link_state(connection)
+
+    def _refresh_link_state(self, connection: Connection) -> None:
+        """Resend state a lost control message may have left stale.
+
+        All four resends are idempotent on the receiving side; they fire
+        only on links whose observable state looks suspicious, so clean
+        links stay quiet."""
+        if connection.am_interested and connection.peer_choking:
+            # Waiting for an unchoke that may never come because our
+            # INTERESTED (or the remote's UNCHOKE) was dropped.
+            self._send(connection, Interested())
+        elif not connection.am_interested and not connection.peer_choking:
+            # The remote is wasting an unchoke slot on us; our
+            # NOT-INTERESTED may have been lost.
+            self._send(connection, NotInterested())
+        if (
+            not connection.am_choking
+            and connection.peer_interested
+            and not connection.upload_queue
+        ):
+            # Unchoked an interested peer but no requests arrived: the
+            # UNCHOKE may have been dropped.
+            self._send(connection, Unchoke())
+
+    # ------------------------------------------------------------------
     # seed transition
     # ------------------------------------------------------------------
 
@@ -669,9 +844,7 @@ class Peer:
         self.seed_choker.reset()
         if self.observer:
             self.observer.on_seed_state(now)
-        self.swarm.tracker.announce(
-            self.address, event="completed", num_want=0, is_seed=True
-        )
+        self._announce(event="completed", num_want=0)
         # "When a leecher becomes a seed, it closes its connections to all
         # the seeds." (§IV-A.2.b)
         for connection in list(self.connections.values()):

@@ -20,6 +20,7 @@ from repro.sim.bandwidth import Flow, max_min_allocation, upload_fair_allocation
 from repro.sim.config import PeerConfig, SwarmConfig
 from repro.sim.connection import Connection
 from repro.sim.engine import Simulator, Timer
+from repro.sim.faults import FaultPlan
 from repro.sim.observer import PeerObserver
 from repro.sim.peer import Peer
 from repro.tracker.tracker import Tracker
@@ -107,6 +108,19 @@ class Swarm:
             start_at=self.config.tick_interval,
         )
         self._on_tick_callbacks: List[Callable[[float], None]] = []
+        # Fault injection.  The plan (and its dedicated RNG draw) exists
+        # only when faults are actually configured, so a fault-free run
+        # is byte-identical whether config.faults is None or disabled.
+        self.faults: Optional[FaultPlan] = None
+        if self.config.faults is not None and self.config.faults.enabled:
+            self.faults = FaultPlan(
+                self.config.faults, Random(self.rng.getrandbits(64))
+            )
+            self.tracker.set_outages(self.config.faults.tracker_outages)
+            if self.config.faults.crash_probability > 0:
+                self.simulator.schedule(
+                    self.config.faults.crash_interval, self._crash_sweep
+                )
 
     # ------------------------------------------------------------------
     # population management
@@ -170,8 +184,15 @@ class Swarm:
         peer.join()
 
     def schedule_arrival(self, delay: float, **add_peer_kwargs) -> None:
-        """Add a peer after *delay* simulated seconds."""
-        self.simulator.schedule(delay, lambda: self.add_peer(**add_peer_kwargs))
+        """Add a peer after *delay* simulated seconds.
+
+        A negative delay — an arrival process whose ``start`` lies before
+        the current simulated clock — is clamped to "now" instead of
+        tripping the engine's schedule-in-the-past guard, so churn
+        generators can be attached to an already-running swarm."""
+        self.simulator.schedule(
+            max(0.0, delay), lambda: self.add_peer(**add_peer_kwargs)
+        )
 
     def peer_by_address(self, address: str) -> Optional[Peer]:
         return self.peers.get(address)
@@ -200,6 +221,24 @@ class Swarm:
         self.peers.pop(peer.address, None)
         self._upload_caps.pop(peer.address, None)
         self._download_caps.pop(peer.address, None)
+
+    def on_peer_crashed(self, peer: Peer) -> None:
+        """An abrupt (fault-injected) departure: same swarm bookkeeping
+        as a clean leave, but the tracker is never told — it keeps
+        handing out the dead address until peers fail to connect."""
+        if self.faults is not None:
+            self.faults.stats["peer_crashes"] += 1
+        self.on_peer_left(peer)
+
+    def _crash_sweep(self) -> None:
+        """Periodically crash online peers with the plan's probability."""
+        plan = self.faults
+        if plan is None:  # pragma: no cover - sweep only scheduled with a plan
+            return
+        for peer in list(self.peers.values()):
+            if peer.online and plan.should_crash():
+                peer.crash()
+        self.simulator.schedule(plan.config.crash_interval, self._crash_sweep)
 
     # ------------------------------------------------------------------
     # fluid transfer loop

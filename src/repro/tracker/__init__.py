@@ -1,5 +1,5 @@
 """The simulated tracker."""
 
-from repro.tracker.tracker import Tracker, TrackerStats
+from repro.tracker.tracker import Tracker, TrackerStats, TrackerUnavailable
 
-__all__ = ["Tracker", "TrackerStats"]
+__all__ = ["Tracker", "TrackerStats", "TrackerUnavailable"]

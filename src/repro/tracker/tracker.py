@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+class TrackerUnavailable(RuntimeError):
+    """Raised by :meth:`Tracker.announce` during an injected outage.
+
+    Real trackers time out or return HTTP errors; clients retry their
+    announce with backoff rather than dropping out of the torrent."""
 
 
 @dataclass(frozen=True)
@@ -31,8 +38,20 @@ class Tracker:
         self._clock = clock
         self._peers: Dict[str, bool] = {}  # address -> is_seed
         self._history: List[TrackerStats] = []
+        self._outages: Tuple[Tuple[float, float], ...] = ()
         self.announce_count = 0
         self.completed_count = 0
+        self.failed_announce_count = 0
+
+    def set_outages(self, outages: Sequence[Tuple[float, float]]) -> None:
+        """Install ``(start, duration)`` windows during which every
+        announce raises :class:`TrackerUnavailable`."""
+        self._outages = tuple(outages)
+
+    def is_down(self, now: float) -> bool:
+        return any(
+            start <= now < start + duration for start, duration in self._outages
+        )
 
     def announce(
         self,
@@ -47,6 +66,11 @@ class Tracker:
         ``""`` (the periodic keep-alive announce).  The returned list
         never contains the requester.
         """
+        if self.is_down(self._clock()):
+            self.failed_announce_count += 1
+            raise TrackerUnavailable(
+                "tracker outage at t=%.1f" % self._clock()
+            )
         self.announce_count += 1
         if event == "stopped":
             self._peers.pop(address, None)

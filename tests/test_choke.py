@@ -175,6 +175,33 @@ class TestSeedChoker:
         with pytest.raises(ValueError):
             SeedChoker(slots=1)
 
+    def test_sru_round_keeps_full_slots_when_no_choked_interested(self):
+        """Regression: in an SRU round with nobody to promote, the seed
+        must keep all ``slots`` ranked peers instead of dropping one
+        upload slot for the round."""
+        choker = SeedChoker()
+        rng = Random(1)
+        # Five interested peers, all already unchoked: nobody to promote.
+        candidates = [
+            candidate(str(i), choked=False, last_unchoked=float(i))
+            for i in range(5)
+        ]
+        for round_index in range(3):  # covers both SRU rounds and the SKU round
+            decision = choker.round(candidates, now=100.0 + round_index, rng=rng)
+            assert len(decision.unchoked) == 4  # full slots, no idle slot
+            assert decision.optimistic is None
+
+    def test_sru_round_empty_pool_single_unchoked_peer(self):
+        """Same regression with fewer peers than slots: all are kept."""
+        choker = SeedChoker()
+        rng = Random(5)
+        decision = choker.round([candidate("only")], now=0.0, rng=rng)
+        assert decision.unchoked == ["only"]
+        decision = choker.round(
+            [candidate("only", choked=False)], now=10.0, rng=rng
+        )
+        assert decision.unchoked == ["only"]
+
 
 class TestOldSeedChoker:
     def test_favours_fastest_downloaders(self):

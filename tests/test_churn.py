@@ -146,3 +146,40 @@ class TestAbortDownloads:
         abort_downloads(swarm, probability=1.0, check_interval=10.0, rng=Random(5))
         swarm.run(50)
         assert seed.online
+
+
+class TestMidRunAttachment:
+    """Regression: arrival processes whose ``start`` lies before the
+    current clock used to trip the engine's schedule-in-the-past guard;
+    the delay is now clamped to "now"."""
+
+    def test_poisson_arrivals_attach_to_running_swarm(self):
+        swarm = tiny_swarm()
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        swarm.run(50.0)  # the clock is now well past start=0
+        scheduled = poisson_arrivals(
+            swarm, rate=0.5, duration=40.0, config_factory=config_factory,
+            rng=Random(4),
+        )
+        assert scheduled > 0
+        swarm.run(50.0)
+        # Past-due arrivals fire immediately instead of raising.
+        assert len(swarm.peers) == 1 + scheduled
+
+    def test_flash_crowd_attaches_to_running_swarm(self):
+        swarm = tiny_swarm()
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        swarm.run(120.0)
+        flash_crowd(
+            swarm, num_peers=5, config_factory=config_factory,
+            rng=Random(9), spread=30.0,
+        )
+        swarm.run(40.0)
+        assert len(swarm.peers) == 6
+
+    def test_direct_negative_delay_clamped(self):
+        swarm = tiny_swarm()
+        swarm.run(10.0)
+        swarm.schedule_arrival(-5.0, config=fast_config())
+        swarm.run(0.0)
+        assert len(swarm.peers) == 1

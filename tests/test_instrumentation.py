@@ -193,3 +193,103 @@ class TestTraceRecording:
         swarm.run(50)
         for record in trace.records.values():
             assert record.client_id == "M4-0-2"
+
+
+class TestBitfieldSeedDetection:
+    """Regression: spare padding bits of a raw BITFIELD must not count
+    toward seed detection (piece counts not divisible by 8)."""
+
+    def linked_pair(self, num_pieces=12):
+        from repro.protocol.messages import Bitfield as BitfieldMessage  # noqa: F401
+
+        swarm = tiny_swarm(num_pieces=num_pieces)
+        trace = Instrumentation()
+        local = swarm.add_peer(config=fast_config(), observer=trace)
+        other = swarm.add_peer(config=fast_config())
+        swarm.run(5.0)  # let the handshake + real (empty) bitfields flow
+        connection = local.connections[other.address]
+        return swarm, trace, connection, other
+
+    def test_padded_leecher_bitfield_not_mistaken_for_seed(self):
+        from repro.protocol.messages import Bitfield as BitfieldMessage
+
+        swarm, trace, connection, other = self.linked_pair(num_pieces=12)
+        record = trace.records[other.address]
+        assert record.remote_seed_since is None
+        # 8 of 12 pieces set, plus all 4 spare padding bits set: 12 one
+        # bits in total, but only 8 real pieces — still a leecher.
+        padded = BitfieldMessage(bits=bytes([0xFF, 0x0F]))
+        trace.on_message_received(swarm.simulator.now, connection, padded)
+        assert record.remote_seed_since is None
+
+    def test_true_seed_bitfield_still_detected(self):
+        from repro.protocol.messages import Bitfield as BitfieldMessage
+
+        swarm, trace, connection, other = self.linked_pair(num_pieces=12)
+        record = trace.records[other.address]
+        complete = BitfieldMessage(bits=bytes([0xFF, 0xF0]))
+        trace.on_message_received(swarm.simulator.now, connection, complete)
+        assert record.remote_seed_since == swarm.simulator.now
+
+    def test_multiple_of_eight_unaffected(self):
+        from repro.protocol.messages import Bitfield as BitfieldMessage
+
+        swarm, trace, connection, other = self.linked_pair(num_pieces=8)
+        record = trace.records[other.address]
+        trace.on_message_received(
+            swarm.simulator.now, connection, BitfieldMessage(bits=bytes([0xFF]))
+        )
+        assert record.remote_seed_since == swarm.simulator.now
+
+
+class TestFlushBytesAcrossReconnect:
+    def test_no_double_count_across_connection_generations(self):
+        """Byte totals must track each connection generation separately:
+        a disconnect/reconnect of the same address must not re-count the
+        first generation's bytes."""
+        swarm = tiny_swarm(num_pieces=8)
+        seeder = swarm.add_peer(config=fast_config(upload=2 * KIB), is_seed=True)
+        trace = Instrumentation()
+        local = swarm.add_peer(config=fast_config(upload=2 * KIB), observer=trace)
+        swarm.run(15.0)  # partial download over generation 1
+        first = local.connections[seeder.address]
+        gen1_down = first.downloaded.total
+        assert 0 < gen1_down < swarm.metainfo.geometry.total_size
+        seeder.leave()  # closes the link -> generation 1 is flushed
+        assert seeder.address not in local.connections
+        seeder.join()  # same address, fresh Connection objects
+        swarm.run(600.0)
+        assert local.is_seed
+        trace.finalize()
+        record = trace.records[seeder.address]
+        recorded = (
+            record.downloaded_leecher_state + record.downloaded_seed_state
+        )
+        # The peer-level counter accumulates across both generations.
+        assert recorded == pytest.approx(local.total_downloaded)
+        assert recorded >= swarm.metainfo.geometry.total_size
+
+    def test_finalize_idempotent_with_open_connections(self):
+        swarm, local, trace = instrumented_swarm()
+        swarm.run(6.0)
+        assert local.connections  # still mid-download, links open
+        trace.finalize()
+        totals = {
+            address: (
+                record.downloaded_leecher_state,
+                record.uploaded_leecher_state,
+                record.presence.total(),
+            )
+            for address, record in trace.records.items()
+        }
+        trace.finalize()  # same timestamp: early return
+        trace.finalize(now=swarm.simulator.now + 10.0)  # states already cleared
+        after = {
+            address: (
+                record.downloaded_leecher_state,
+                record.uploaded_leecher_state,
+                record.presence.total(),
+            )
+            for address, record in trace.records.items()
+        }
+        assert after == totals
