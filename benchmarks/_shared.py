@@ -18,7 +18,7 @@ import os
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from repro.instrumentation import Instrumentation
+from repro.instrumentation import Instrumentation, TraceRecorder
 from repro.workloads import TorrentScenario, build_experiment, scenario_by_id
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -44,22 +44,31 @@ def run_table1_experiment(
     torrent_id: int,
     seed: int = DEFAULT_SEED,
     block_size: Optional[int] = None,
+    trace_path: Optional[str] = None,
     **build_kwargs,
 ) -> Tuple[TorrentScenario, Instrumentation, dict]:
     """Run (or fetch from cache) one Table-I experiment.
 
     Returns (scenario, finalized trace, summary) where summary carries the
     swarm-level facts the analysis cannot recover from the trace alone.
+    When *trace_path* is given a structured JSONL trace of the local peer
+    is written there, the summary gains a ``trace_fingerprint`` entry, and
+    the memoisation cache is bypassed (the trace must observe a live run).
     """
     key = (torrent_id, seed, block_size, tuple(sorted(build_kwargs)))
-    if key in _trace_cache:
+    if trace_path is None and key in _trace_cache:
         return _trace_cache[key]
     scenario = scenario_by_id(torrent_id)
+    recorder = TraceRecorder(trace_path) if trace_path is not None else None
     # Give every torrent its own RNG stream: several Table-I torrents
     # scale to near-identical parameters, and a shared seed would make
     # them literally the same simulation.
     harness = build_experiment(
-        scenario, seed=seed + 37 * torrent_id, block_size=block_size, **build_kwargs
+        scenario,
+        seed=seed + 37 * torrent_id,
+        block_size=block_size,
+        trace_recorder=recorder,
+        **build_kwargs,
     )
     trace = harness.run()
     seeds, leechers = harness.swarm.seeds_and_leechers()
@@ -71,6 +80,9 @@ def run_table1_experiment(
         "mean_download_time": harness.swarm.result.mean_download_time(),
         "local_address": harness.local_peer.address,
     }
+    if recorder is not None:
+        summary["trace_fingerprint"] = recorder.close()
+        return (scenario, trace, summary)
     _trace_cache[key] = (scenario, trace, summary)
     return _trace_cache[key]
 

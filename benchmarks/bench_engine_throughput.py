@@ -10,6 +10,13 @@ wall-clock, events/sec and the indexed-over-naive speedup.  Because the
 two paths are trace-equivalent, both runs execute the identical event
 sequence: the speedup is pure hot-path cost, not workload drift.
 
+The medium swarm additionally measures structured-tracing overhead
+(``tracing_overhead_pct``): the same indexed run with a
+``TracingObserver`` on one peer (the default ``repro run --trace``
+configuration, budget < 25%) and on every peer (the ``--trace-all``
+worst case, informational), asserting that tracing leaves the swarm's
+final piece sets byte-identical.
+
 Run it directly (no pytest needed); it writes machine-readable
 ``BENCH_engine_throughput.json`` at the repository root so future PRs
 can diff engine throughput across commits:
@@ -32,6 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from random import Random
 
+from repro.instrumentation import TraceRecorder, TracingObserver
 from repro.protocol.metainfo import make_metainfo
 from repro.sim.config import KIB, PeerConfig, SwarmConfig
 from repro.sim.swarm import Swarm
@@ -54,7 +62,11 @@ QUICK_SCALE = 0.25  # --quick shrinks the simulated window, not the swarm
 
 
 def build_swarm(
-    leechers: int, pieces: int, seed: int, use_rarity_index: bool
+    leechers: int,
+    pieces: int,
+    seed: int,
+    use_rarity_index: bool,
+    observer_factory=None,
 ) -> Swarm:
     metainfo = make_metainfo(
         "throughput-%dp" % pieces,
@@ -63,6 +75,7 @@ def build_swarm(
         block_size=16 * KIB,
     )
     swarm = Swarm(metainfo, SwarmConfig(seed=seed))
+    swarm.observer_factory = observer_factory
     rng = Random(seed)
 
     def peer_config() -> PeerConfig:
@@ -96,14 +109,33 @@ def swarm_fingerprint(swarm: Swarm) -> str:
 
 
 def run_once(
-    leechers: int, pieces: int, sim_seconds: float, seed: int, use_rarity_index: bool
+    leechers: int,
+    pieces: int,
+    sim_seconds: float,
+    seed: int,
+    use_rarity_index: bool,
+    trace: str = "off",
 ) -> dict:
-    swarm = build_swarm(leechers, pieces, seed, use_rarity_index)
+    """One timed swarm run.  ``trace`` selects the tracing configuration:
+    ``"off"``, ``"local"`` (one observed peer, the paper's methodology and
+    what ``repro run --trace`` does) or ``"all"`` (a TracingObserver on
+    every peer, the ``--trace-all`` worst case).  The in-memory sink
+    keeps disk speed out of the measurement."""
+    recorder = None
+    factory = None
+    if trace != "off":
+        recorder = TraceRecorder()
+        if trace == "all":
+            factory = lambda: TracingObserver(recorder)
+        else:
+            observers = iter([TracingObserver(recorder)])
+            factory = lambda: next(observers, None)
+    swarm = build_swarm(leechers, pieces, seed, use_rarity_index, factory)
     started = time.perf_counter()
     result = swarm.run(sim_seconds)
     wall = time.perf_counter() - started
     events = swarm.simulator.events_processed
-    return {
+    row = {
         "wall_seconds": round(wall, 4),
         "events": events,
         "events_per_second": round(events / wall, 1) if wall > 0 else None,
@@ -112,6 +144,10 @@ def run_once(
         "completion_trace": sorted(result.completions.items()),
         "fingerprint": swarm_fingerprint(swarm),
     }
+    if recorder is not None:
+        row["trace_events"] = recorder.events_emitted
+        recorder.close()
+    return row
 
 
 def run_suite(quick: bool, seed: int) -> dict:
@@ -160,6 +196,47 @@ def run_suite(quick: bool, seed: int) -> dict:
             "%-7s speedup=%.2fx  traces_match=%s"
             % (name, sized["speedup_indexed_over_naive"], sized["traces_match"])
         )
+        if name == "medium":
+            # Structured-tracing overhead on the indexed medium swarm:
+            # once with the default configuration (one observed peer,
+            # the paper instruments a single client — the <25% budget
+            # applies here) and once with a TracingObserver on every
+            # peer (the --trace-all worst case, reported for scale).
+            # Observers must not perturb the simulation, so both traced
+            # runs' swarm fingerprints have to match the untraced one.
+            preserved = True
+            for mode, key in (("local", "indexed_traced"), ("all", "indexed_traced_all")):
+                traced = run_once(
+                    params["leechers"],
+                    params["pieces"],
+                    sim_seconds,
+                    seed,
+                    use_rarity_index=True,
+                    trace=mode,
+                )
+                traced.pop("completion_trace")
+                sized[key] = traced
+                preserved = preserved and (
+                    traced["fingerprint"] == sized["indexed"]["fingerprint"]
+                )
+                overhead = (
+                    traced["wall_seconds"] / sized["indexed"]["wall_seconds"]
+                    - 1.0
+                ) * 100.0
+                traced["tracing_overhead_pct"] = round(overhead, 1)
+                print(
+                    "%-7s trace:%-5s wall=%7.2fs  overhead=%+.1f%%  "
+                    "trace_events=%d"
+                    % (name, mode, traced["wall_seconds"], overhead, traced["trace_events"])
+                )
+            sized["tracing_preserves_run"] = preserved
+            sized["tracing_overhead_pct"] = sized["indexed_traced"][
+                "tracing_overhead_pct"
+            ]
+            print(
+                "%-7s tracing_overhead=%.1f%% (local, budget <25%%)  run_preserved=%s"
+                % (name, sized["tracing_overhead_pct"], preserved)
+            )
         report["swarms"][name] = sized
     return report
 
@@ -184,6 +261,11 @@ def main(argv=None) -> int:
         for name, sized in report["swarms"].items()
         if not sized["traces_match"]
     ]
+    failures.extend(
+        name
+        for name, sized in report["swarms"].items()
+        if not sized.get("tracing_preserves_run", True)
+    )
     if failures:
         print("TRACE MISMATCH in: %s" % ", ".join(failures), file=sys.stderr)
         return 1

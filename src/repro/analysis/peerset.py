@@ -8,8 +8,15 @@ from repro.instrumentation.logger import Instrumentation
 
 
 def peer_set_series(instrumentation: Instrumentation) -> Tuple[List[float], List[int]]:
-    """(times, peer-set sizes) from the periodic snapshots."""
-    snapshots = instrumentation.snapshots
+    """(times, peer-set sizes) from the periodic snapshots.
+
+    Offline gap markers (churn windows) are skipped: a departed peer has
+    no peer set, and interpolating a zero across the outage would fake a
+    collapse-and-recovery that never happened.
+    """
+    snapshots = [
+        snapshot for snapshot in instrumentation.snapshots if not snapshot.offline
+    ]
     return (
         [snapshot.time for snapshot in snapshots],
         [snapshot.peer_set_size for snapshot in snapshots],

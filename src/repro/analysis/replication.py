@@ -40,7 +40,11 @@ class ReplicationSeries:
 def _select_snapshots(
     instrumentation: Instrumentation, leecher_state_only: bool
 ) -> List[Snapshot]:
-    snapshots = instrumentation.snapshots
+    # Offline markers are explicit churn gaps, not observations of an
+    # empty peer set; plotting them would interpolate phantom zeros.
+    snapshots = [
+        snapshot for snapshot in instrumentation.snapshots if not snapshot.offline
+    ]
     if leecher_state_only:
         snapshots = [snapshot for snapshot in snapshots if not snapshot.is_seed]
     return snapshots

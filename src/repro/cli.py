@@ -4,17 +4,23 @@
 
     python -m repro list-torrents
     python -m repro run --torrent 7 --seed 3 --save trace.json
+    python -m repro run --torrent 7 --trace out.jsonl --trace-all
     python -m repro figure entropy --torrent 7
     python -m repro figure replication --torrent 8 --leecher-only
     python -m repro figure interarrival --torrent 10 --kind piece
     python -m repro figure fairness --torrent 7
     python -m repro analyze trace.json --figure entropy
+    python -m repro replay out.jsonl --figure entropy
+    python -m repro metrics --torrent 19 --duration 400
     python -m repro model --arrival-rate 0.05 --upload 4096 --content 131072
 
 ``run`` executes one Table-I experiment with the instrumented client;
 ``figure`` runs it and prints the requested figure's data; ``analyze``
-recomputes figures from a saved trace without re-simulating; ``model``
-evaluates the Qiu–Srikant fluid model.
+recomputes figures from a saved trace without re-simulating; ``replay``
+reconstructs the instrumentation from a structured JSONL trace (``run
+--trace``) and prints any figure from it; ``metrics`` runs an experiment
+with the metrics registry and engine profiler enabled and dumps both;
+``model`` evaluates the Qiu–Srikant fluid model.
 """
 
 from __future__ import annotations
@@ -33,7 +39,13 @@ from repro.analysis import (
     unchoke_interest_correlation,
 )
 from repro.analysis.fairness import leecher_contribution, seed_contribution
-from repro.instrumentation import Instrumentation
+from repro.instrumentation import (
+    EngineProfiler,
+    Instrumentation,
+    TraceRecorder,
+    replay_instrumentation,
+    traced_peers,
+)
 from repro.models import FluidModel
 from repro.reporting import (
     ascii_table,
@@ -82,6 +94,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict series to the local peer's leecher state",
     )
 
+    replay_parser = commands.add_parser(
+        "replay",
+        help="rebuild the instrumentation from a structured JSONL trace "
+        "('run --trace') and print one figure — no simulation",
+    )
+    replay_parser.add_argument("trace", help="JSONL trace from 'run --trace'")
+    replay_parser.add_argument(
+        "--figure",
+        choices=["entropy", "replication", "rarest-set", "peer-set",
+                 "interarrival", "fairness"],
+        default="entropy",
+    )
+    replay_parser.add_argument(
+        "--kind", choices=["piece", "block"], default="piece"
+    )
+    replay_parser.add_argument("--leecher-only", action="store_true")
+    replay_parser.add_argument(
+        "--peer", metavar="ADDR", default=None,
+        help="which traced peer to reconstruct (default: the first; "
+        "relevant for --trace-all traces)",
+    )
+    replay_parser.add_argument(
+        "--list-peers", action="store_true",
+        help="just list the traced peer addresses and exit",
+    )
+
+    metrics_parser = commands.add_parser(
+        "metrics",
+        help="run an experiment with the metrics registry + engine "
+        "profiler and dump both",
+    )
+    _experiment_arguments(metrics_parser)
+
     analyze_parser = commands.add_parser(
         "analyze", help="recompute figures from a saved trace (no simulation)"
     )
@@ -127,6 +172,15 @@ def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
         "60 s tracker outage; 'heavy' adds peer crashes, duplication "
         "and piece corruption (default: off)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured JSONL event trace (replayable with "
+        "'repro replay')",
+    )
+    parser.add_argument(
+        "--trace-all", action="store_true",
+        help="trace every peer in the swarm, not just the local one",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -136,6 +190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "figure": _cmd_figure,
         "analyze": _cmd_analyze,
+        "replay": _cmd_replay,
+        "metrics": _cmd_metrics,
         "model": _cmd_model,
     }[args.command]
     return handler(args)
@@ -164,7 +220,7 @@ def _cmd_list_torrents(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_experiment(args: argparse.Namespace) -> Instrumentation:
+def _build_harness(args: argparse.Namespace, trace_recorder=None):
     scenario = scenario_by_id(args.torrent)
     if args.duration is not None:
         scenario = scaled_copy(scenario, duration=args.duration)
@@ -191,11 +247,31 @@ def _run_experiment(args: argparse.Namespace) -> Instrumentation:
             faults=FAULT_PRESETS[args.faults],
         )
         print("fault injection: %s preset" % args.faults, file=sys.stderr)
-    harness = build_experiment(scenario, seed=args.seed, swarm_config=swarm_config)
+    return build_experiment(
+        scenario,
+        seed=args.seed,
+        swarm_config=swarm_config,
+        trace_recorder=trace_recorder,
+        trace_all_peers=getattr(args, "trace_all", False),
+    )
+
+
+def _run_experiment(args: argparse.Namespace) -> Instrumentation:
+    recorder = None
+    if getattr(args, "trace", None):
+        recorder = TraceRecorder(args.trace)
+    harness = _build_harness(args, trace_recorder=recorder)
     trace = harness.run()
     if harness.swarm.faults is not None:
         stats = dict(harness.swarm.faults.stats)
         print("injected faults: %s" % (stats or "none hit"), file=sys.stderr)
+    if recorder is not None:
+        fingerprint = recorder.close()
+        print(
+            "structured trace: %s (%d events, fingerprint %s)"
+            % (args.trace, recorder.events_emitted, fingerprint[:16]),
+            file=sys.stderr,
+        )
     return trace
 
 
@@ -224,6 +300,34 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     trace = load_trace_summary(args.trace)
     _print_figure(trace, args.figure, args)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.list_peers:
+        for address in traced_peers(args.trace):
+            print(address)
+        return 0
+    trace = replay_instrumentation(args.trace, peer=args.peer)
+    print(
+        "replayed %d events for peer %s"
+        % (trace.replayed_from_events, trace.peer.address),
+        file=sys.stderr,
+    )
+    _print_figure(trace, args.figure, args)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    harness = _build_harness(args)
+    profiler = EngineProfiler()
+    harness.swarm.simulator.set_profiler(profiler)
+    trace = harness.run()
+    print("== instrumentation metrics ==")
+    print(trace.metrics.render())
+    print()
+    print("== engine profile ==")
+    print(profiler.report())
     return 0
 
 

@@ -11,5 +11,33 @@ from repro.instrumentation.logger import (
     RemotePeerRecord,
     Snapshot,
 )
+from repro.instrumentation.metrics import (
+    EngineProfiler,
+    MetricsRegistry,
+)
+from repro.instrumentation.replay import (
+    ReplayedInstrumentation,
+    iter_trace,
+    replay_instrumentation,
+    traced_peers,
+)
+from repro.instrumentation.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    TracingObserver,
+)
 
-__all__ = ["Instrumentation", "RemotePeerRecord", "Snapshot"]
+__all__ = [
+    "Instrumentation",
+    "RemotePeerRecord",
+    "Snapshot",
+    "MetricsRegistry",
+    "EngineProfiler",
+    "TraceRecorder",
+    "TracingObserver",
+    "TRACE_SCHEMA_VERSION",
+    "replay_instrumentation",
+    "ReplayedInstrumentation",
+    "iter_trace",
+    "traced_peers",
+]

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.choke import ChokeDecision
+from repro.instrumentation.metrics import MetricsRegistry
 from repro.protocol.messages import (
     Bitfield as BitfieldMessage,
     Have,
@@ -33,7 +34,7 @@ from repro.protocol.messages import (
     Piece,
 )
 from repro.sim.connection import Connection
-from repro.sim.observer import PeerObserver
+from repro.sim.observer import FanoutObserver, PeerObserver
 
 Interval = Tuple[float, float]
 
@@ -59,6 +60,12 @@ class Snapshot:
     active_partial_pieces: int = 0
     """Pieces started but incomplete at the local peer: strict priority
     keeps this small (partially received pieces cannot be served)."""
+
+    offline: bool = False
+    """Explicit gap marker: the sampling timer fired while the peer was
+    offline (churn window).  Peer-set/replication figures must skip these
+    rather than interpolate a phantom zero-sized peer set across the
+    outage; only ``time`` and ``local_pieces`` carry information."""
 
 
 @dataclass
@@ -172,13 +179,13 @@ class Instrumentation(PeerObserver):
         self.seed_state_at: Optional[float] = None
         self.endgame_at: Optional[float] = None
         self.hash_failures: List[Tuple[float, int]] = []
-        self.fault_counters: Dict[str, int] = {}
-        """Injected-fault events observed at the local peer, keyed by
-        kind (``announce_failure``, ``announce_retry``,
-        ``connection_reaped``, ``stale_requests_reset``,
-        ``hash_failure_injected``); empty when fault injection is off."""
-        self.messages_sent = 0
-        self.messages_received = 0
+        self.metrics = MetricsRegistry()
+        """Counter/gauge/histogram registry fed by the hooks; the
+        compatibility views :attr:`messages_sent`,
+        :attr:`messages_received` and :attr:`fault_counters` read
+        through it, so every counter has exactly one implementation."""
+        self._sent_counter = self.metrics.counter("messages.sent")
+        self._received_counter = self.metrics.counter("messages.received")
         self._record_rates = record_rates
         self._snapshot_interval = snapshot_interval
         self._connection_states: Dict[int, _ConnectionState] = {}
@@ -202,14 +209,34 @@ class Instrumentation(PeerObserver):
 
     def take_snapshot(self) -> None:
         peer = self.peer
-        if peer is None or not peer.online:
+        if peer is None:
             return
-        availability = peer.picker.availability
-        rarest_count, rarest_pieces = peer.picker.rarest_pieces_set()
-        num_pieces = len(availability) or 1
-        self.snapshots.append(
-            Snapshot(
-                time=peer.simulator.now,
+        now = peer.simulator.now
+        if not peer.online:
+            # Churn window: the sampling timer outlives a departed or
+            # crashed peer.  Silently dropping the sample used to leave a
+            # hole downstream code interpolated across; record an
+            # explicit offline marker instead.
+            snapshot = Snapshot(
+                time=now,
+                peer_set_size=0,
+                min_copies=0,
+                mean_copies=0.0,
+                max_copies=0,
+                rarest_count=0,
+                rarest_set_size=0,
+                local_pieces=peer.bitfield.count,
+                is_seed=peer.is_seed,
+                in_endgame=False,
+                active_partial_pieces=0,
+                offline=True,
+            )
+        else:
+            availability = peer.picker.availability
+            rarest_count, rarest_pieces = peer.picker.rarest_pieces_set()
+            num_pieces = len(availability) or 1
+            snapshot = Snapshot(
+                time=now,
                 peer_set_size=peer.peer_set_size,
                 min_copies=min(availability) if availability else 0,
                 mean_copies=sum(availability) / num_pieces,
@@ -221,7 +248,18 @@ class Instrumentation(PeerObserver):
                 in_endgame=peer.picker.in_endgame,
                 active_partial_pieces=len(peer.picker.active_pieces),
             )
-        )
+        # Route through the peer's observer chain when this recorder is
+        # fanned out with others (e.g. a TracingObserver): there is ONE
+        # sampler, so every observer sees the same snapshot object
+        # rather than re-computing a possibly divergent one.
+        observer = peer.observer
+        if isinstance(observer, FanoutObserver) and self in observer:
+            observer.on_snapshot(now, snapshot)
+        else:
+            self.on_snapshot(now, snapshot)
+
+    def on_snapshot(self, now: float, snapshot: Snapshot) -> None:
+        self.snapshots.append(snapshot)
 
     # ------------------------------------------------------------------
     # connection lifecycle
@@ -280,7 +318,7 @@ class Instrumentation(PeerObserver):
     # ------------------------------------------------------------------
 
     def on_message_sent(self, now: float, connection: Connection, message: Message) -> None:
-        self.messages_sent += 1
+        self._sent_counter.inc()
         record = self._record_for(connection)
         if isinstance(message, Interested):
             record.local_interested_in_remote.set_on(now)
@@ -290,7 +328,7 @@ class Instrumentation(PeerObserver):
     def on_message_received(
         self, now: float, connection: Connection, message: Message
     ) -> None:
-        self.messages_received += 1
+        self._received_counter.inc()
         record = self._record_for(connection)
         if isinstance(message, Interested):
             record.remote_interested_in_local.set_on(now)
@@ -386,7 +424,7 @@ class Instrumentation(PeerObserver):
         self.hash_failures.append((now, piece))
 
     def on_fault(self, now: float, kind: str) -> None:
-        self.fault_counters[kind] = self.fault_counters.get(kind, 0) + 1
+        self.metrics.inc("fault." + kind)
 
     # ------------------------------------------------------------------
     # finalisation
@@ -417,6 +455,44 @@ class Instrumentation(PeerObserver):
     # ------------------------------------------------------------------
     # convenience accessors
     # ------------------------------------------------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        """Compatibility view over the ``messages.sent`` counter."""
+        return int(self._sent_counter.value)
+
+    @messages_sent.setter
+    def messages_sent(self, value: int) -> None:
+        self._sent_counter.reset_to(value)
+
+    @property
+    def messages_received(self) -> int:
+        """Compatibility view over the ``messages.received`` counter."""
+        return int(self._received_counter.value)
+
+    @messages_received.setter
+    def messages_received(self, value: int) -> None:
+        self._received_counter.reset_to(value)
+
+    @property
+    def fault_counters(self) -> Dict[str, int]:
+        """Injected-fault events observed at the local peer, keyed by
+        kind (``announce_failure``, ``announce_retry``,
+        ``connection_reaped``, ``stale_requests_reset``,
+        ``hash_failure_injected``); empty when fault injection is off.
+        Compatibility view over the registry's ``fault.*`` counters."""
+        return {
+            kind: int(count)
+            for kind, count in self.metrics.with_prefix("fault.").items()
+        }
+
+    @fault_counters.setter
+    def fault_counters(self, counters: Dict[str, int]) -> None:
+        for kind in self.metrics.with_prefix("fault."):
+            if kind not in counters:
+                self.metrics.counter("fault." + kind).reset_to(0)
+        for kind, count in counters.items():
+            self.metrics.counter("fault." + kind).reset_to(count)
 
     @property
     def _seed_since(self) -> Optional[float]:

@@ -1,0 +1,397 @@
+"""Offline reconstruction of instrumentation state from a trace file.
+
+:func:`replay_instrumentation` reads a JSONL trace written by
+:class:`~repro.instrumentation.trace.TracingObserver` and rebuilds an
+:class:`~repro.instrumentation.logger.Instrumentation` **without running
+the simulator**: it instantiates the real observer class, points it at a
+lightweight stub peer, and drives the exact same hook methods the live
+simulation would have called, in the same order, with the same
+arguments.  Because the live and replayed objects execute identical
+code on identical inputs, every derived quantity — presence intervals,
+byte splits, unchoke counts, snapshot series, and hence every figure —
+is reproduced with exact field-level equality (floats included: JSON
+round-trips IEEE doubles exactly).
+
+This is the audit path the paper's methodology implies but never had:
+any claim made from the live instrumentation can be re-derived from the
+portable trace file alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.choke import ChokeDecision
+from repro.instrumentation.logger import Instrumentation, Snapshot
+from repro.instrumentation.trace import TRACE_SCHEMA_VERSION, TraceRecorder
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.messages import (
+    Bitfield as BitfieldMessage,
+    Cancel,
+    Choke,
+    Have,
+    Interested,
+    KeepAlive,
+    NotInterested,
+    Piece,
+    Request,
+    Unchoke,
+)
+
+TraceSource = Union[str, TraceRecorder, Iterable[str]]
+
+
+class TraceFormatError(ValueError):
+    """The trace file is missing, truncated, or from another schema."""
+
+
+def iter_trace(source: TraceSource, verify: bool = True) -> List[dict]:
+    """Parse a trace into its event list (header/footer stripped).
+
+    *source* is a file path, an in-memory :class:`TraceRecorder`, or any
+    iterable of JSONL lines.  With ``verify`` (the default) the header's
+    schema version is checked and, when a ``trace_end`` footer is
+    present, the recomputed content fingerprint and event count must
+    match it — so silent truncation or editing fails loudly.
+    """
+    if isinstance(source, TraceRecorder):
+        lines = source.lines()
+    elif isinstance(source, str):
+        with open(source) as handle:
+            lines = [line.rstrip("\n") for line in handle]
+    else:
+        lines = [line.rstrip("\n") for line in source]
+    lines = [line for line in lines if line]
+    if not lines:
+        raise TraceFormatError("empty trace")
+
+    import hashlib
+
+    hasher = hashlib.sha256()
+    events: List[dict] = []
+    footer: Optional[dict] = None
+    for index, line in enumerate(lines):
+        try:
+            event = json.loads(line)
+        except ValueError:
+            raise TraceFormatError("line %d is not valid JSON" % (index + 1))
+        kind = event.get("type")
+        if index == 0:
+            if kind != "trace_start":
+                raise TraceFormatError("missing trace_start header")
+            if verify and event.get("v") != TRACE_SCHEMA_VERSION:
+                raise TraceFormatError(
+                    "trace schema v%s, reader supports v%d"
+                    % (event.get("v"), TRACE_SCHEMA_VERSION)
+                )
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+            continue
+        if kind == "trace_end":
+            footer = event
+            break
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+        events.append(event)
+    if verify and footer is not None:
+        if footer.get("events") != len(events):
+            raise TraceFormatError(
+                "footer says %s events, found %d" % (footer.get("events"), len(events))
+            )
+        digest = hasher.hexdigest()
+        if footer.get("fingerprint") != digest:
+            raise TraceFormatError("trace fingerprint mismatch (file edited?)")
+    return events
+
+
+def traced_peers(source: TraceSource) -> List[str]:
+    """Addresses of every peer with an ``attach`` event, in trace order."""
+    seen: List[str] = []
+    for event in iter_trace(source):
+        if event.get("type") == "attach" and event["peer"] not in seen:
+            seen.append(event["peer"])
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# Stub simulator objects: just enough surface for Instrumentation's hooks.
+# ---------------------------------------------------------------------------
+
+
+class _StubSimulator:
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class _StubCounter:
+    """Stands in for a ByteCounter: only ``.total`` is read."""
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0.0
+
+
+class _StubPeerId:
+    __slots__ = ("client_id",)
+
+    def __init__(self, client_id: Optional[str]):
+        self.client_id = client_id
+
+
+class _StubCompleteness:
+    """Stands in for the remote peer's bitfield at connection open; the
+    live observer only asks :meth:`is_complete`."""
+
+    __slots__ = ("_complete",)
+
+    def __init__(self, complete: bool):
+        self._complete = complete
+
+    def is_complete(self) -> bool:
+        return self._complete
+
+
+class _StubRemote:
+    __slots__ = ("address", "peer_id", "bitfield")
+
+    def __init__(self, address: str, client_id: Optional[str], complete: bool):
+        self.address = address
+        self.peer_id = _StubPeerId(client_id)
+        self.bitfield = _StubCompleteness(complete)
+
+
+class _ReplayConnection:
+    """One replayed link: identity, byte totals and the remote bitfield
+    as known *before* each incoming message (the live hook's view)."""
+
+    __slots__ = ("remote", "remote_bitfield", "uploaded", "downloaded")
+
+    def __init__(
+        self,
+        address: str,
+        client_id: Optional[str],
+        remote_complete: bool,
+        num_pieces: int,
+    ):
+        self.remote = _StubRemote(address, client_id, remote_complete)
+        self.remote_bitfield = Bitfield(num_pieces)
+        self.uploaded = _StubCounter()
+        self.downloaded = _StubCounter()
+
+
+class _ReplayPeer:
+    """The observed peer, reduced to the attributes the observer reads."""
+
+    __slots__ = (
+        "address",
+        "is_seed",
+        "online",
+        "joined_at",
+        "became_seed_at",
+        "simulator",
+        "connections",
+    )
+
+    def __init__(self, address: str):
+        self.address = address
+        self.is_seed = False
+        self.online = True
+        self.joined_at: Optional[float] = None
+        self.became_seed_at: Optional[float] = None
+        self.simulator = _StubSimulator()
+        self.connections: Dict[str, _ReplayConnection] = {}
+
+
+_SIMPLE_MESSAGES = {
+    "Interested": Interested,
+    "NotInterested": NotInterested,
+    "Choke": Choke,
+    "Unchoke": Unchoke,
+    "KeepAlive": KeepAlive,
+}
+
+
+class _OpaqueMessage:
+    """Fallback for message types the observer treats generically."""
+
+    __slots__ = ()
+
+
+def _build_message(event: dict):
+    name = event["msg"]
+    simple = _SIMPLE_MESSAGES.get(name)
+    if simple is not None:
+        return simple()
+    if name == "Have":
+        return Have(piece=event["piece"])
+    if name == "Bitfield":
+        return BitfieldMessage(bits=bytes.fromhex(event["bits"]))
+    if name == "Request":
+        return Request(
+            piece=event["piece"], offset=event["offset"], length=event["length"]
+        )
+    if name == "Cancel":
+        return Cancel(
+            piece=event["piece"], offset=event["offset"], length=event["length"]
+        )
+    if name == "Piece":
+        return Piece(
+            piece=event["piece"], offset=event["offset"], data=b"\0" * event["length"]
+        )
+    return _OpaqueMessage()
+
+
+class ReplayedInstrumentation(Instrumentation):
+    """An :class:`Instrumentation` rebuilt from a trace file.
+
+    Identical API to the live object; ``replayed_from_events`` counts
+    the trace events consumed.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(record_rates=True)
+        self.replayed_from_events = 0
+
+
+def _apply_open_entries(
+    entries: List[dict],
+    peer: _ReplayPeer,
+    open_connections: Dict[str, _ReplayConnection],
+) -> None:
+    """Sync stub connection totals with a ``seed_state``/``finalize``
+    event's snapshot of the live connection table.  Entries without
+    totals mean the live peer had already dropped the link (a crash)
+    without a close notification: the stub table drops it too, so the
+    replayed flush skips it exactly like the live one did."""
+    for entry in entries:
+        address = entry["remote"]
+        connection = open_connections.get(address)
+        if "up" in entry and connection is not None:
+            connection.uploaded.total = entry["up"]
+            connection.downloaded.total = entry["down"]
+        else:
+            peer.connections.pop(address, None)
+
+
+def replay_instrumentation(
+    source: TraceSource, peer: Optional[str] = None, verify: bool = True
+) -> ReplayedInstrumentation:
+    """Rebuild the instrumentation of one traced peer from *source*.
+
+    ``peer`` selects which traced peer to reconstruct when the trace
+    covers several (swarm-wide tracing); it defaults to the first peer
+    with an ``attach`` event.
+    """
+    events = iter_trace(source, verify=verify)
+    if peer is None:
+        for event in events:
+            if event.get("type") == "attach":
+                peer = event["peer"]
+                break
+        if peer is None:
+            raise TraceFormatError("trace contains no attach event")
+
+    instrumentation = ReplayedInstrumentation()
+    stub = _ReplayPeer(peer)
+    instrumentation.on_attached(stub)
+    num_pieces = 0
+    open_connections: Dict[str, _ReplayConnection] = {}
+
+    for event in events:
+        if event.get("peer") != peer:
+            continue
+        instrumentation.replayed_from_events += 1
+        kind = event["type"]
+        now = event["t"]
+        stub.simulator.now = now
+
+        if kind == "attach":
+            num_pieces = event["pieces"]
+            stub.is_seed = event["seed"]
+            stub.joined_at = now
+            if event["seed"]:
+                # Peer.__init__ stamps initial seeds with became_seed_at=0.
+                stub.became_seed_at = 0.0
+        elif kind == "conn_open":
+            connection = _ReplayConnection(
+                event["remote"], event["client"], event["remote_complete"], num_pieces
+            )
+            stub.is_seed = event["local_seed"]
+            open_connections[event["remote"]] = connection
+            stub.connections[event["remote"]] = connection
+            instrumentation.on_connection_open(now, connection)
+        elif kind == "conn_close":
+            connection = open_connections.pop(event["remote"], None)
+            if connection is None:
+                # Open event predates the trace: the live observer had no
+                # state for this link either, so the hook is a no-op.
+                connection = _ReplayConnection(event["remote"], None, False, num_pieces)
+            connection.uploaded.total = event["up"]
+            connection.downloaded.total = event["down"]
+            stub.connections.pop(event["remote"], None)
+            instrumentation.on_connection_close(now, connection)
+        elif kind in ("msg_sent", "msg_recv"):
+            connection = open_connections.get(event["remote"])
+            if connection is None:
+                connection = _ReplayConnection(event["remote"], None, False, num_pieces)
+            message = _build_message(event)
+            if kind == "msg_sent":
+                instrumentation.on_message_sent(now, connection, message)
+            else:
+                instrumentation.on_message_received(now, connection, message)
+                # The live peer applies the message to its view of the
+                # remote bitfield *after* the hook; mirror that here so
+                # the next hook sees the same pre-message state.
+                if isinstance(message, BitfieldMessage):
+                    connection.remote_bitfield = Bitfield.from_bytes(
+                        message.bits, num_pieces
+                    )
+                elif isinstance(message, Have):
+                    connection.remote_bitfield.set(message.piece)
+        elif kind == "choke":
+            stub.is_seed = event["local_seed"]
+            instrumentation.on_choke_round(
+                now, ChokeDecision(unchoked=list(event["unchoked"]))
+            )
+        elif kind == "rate":
+            connection = open_connections.get(event["remote"])
+            if connection is None:
+                connection = _ReplayConnection(event["remote"], None, False, num_pieces)
+            instrumentation.on_rate_sample(
+                now, connection, event["down"], event["up"]
+            )
+        elif kind == "block":
+            connection = open_connections.get(event["remote"])
+            if connection is None:
+                connection = _ReplayConnection(event["remote"], None, False, num_pieces)
+            instrumentation.on_block_received(
+                now, connection, event["piece"], event["offset"], event["length"]
+            )
+        elif kind == "piece":
+            instrumentation.on_piece_completed(now, event["piece"])
+        elif kind == "endgame":
+            instrumentation.on_endgame_entered(now)
+        elif kind == "seed_state":
+            _apply_open_entries(event["open"], stub, open_connections)
+            stub.is_seed = True
+            stub.became_seed_at = now
+            instrumentation.on_seed_state(now)
+        elif kind == "hash_fail":
+            instrumentation.on_hash_failure(now, event["piece"])
+        elif kind == "fault":
+            instrumentation.on_fault(now, event["kind"])
+        elif kind == "snapshot":
+            instrumentation.on_snapshot(now, Snapshot(**event["data"]))
+        elif kind == "finalize":
+            _apply_open_entries(event["open"], stub, open_connections)
+            stub.joined_at = event["joined_at"]
+            stub.became_seed_at = event["became_seed_at"]
+            instrumentation.finalize(now=now)
+        # Unknown event types are skipped: newer minor revisions may add
+        # informational events without breaking old readers.
+
+    return instrumentation

@@ -159,6 +159,7 @@ def save_trace_summary(
         "endgame_at": instrumentation.endgame_at,
         "messages_sent": instrumentation.messages_sent,
         "messages_received": instrumentation.messages_received,
+        "fault_counters": instrumentation.fault_counters,
         "records": [
             _record_to_dict(record)
             for record in instrumentation.records.values()
@@ -185,6 +186,8 @@ def load_trace_summary(path: PathLike) -> Instrumentation:
     trace.endgame_at = document["endgame_at"]
     trace.messages_sent = document["messages_sent"]
     trace.messages_received = document["messages_received"]
+    # Key absent in summaries written before the metrics registry.
+    trace.fault_counters = document.get("fault_counters", {})
     for entry in document["records"]:
         trace.records[entry["address"]] = _record_from_dict(entry)
     trace.block_arrivals = [tuple(entry) for entry in document["block_arrivals"]]

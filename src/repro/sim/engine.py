@@ -20,6 +20,15 @@ class SimulationError(RuntimeError):
     """Raised on engine misuse (e.g. scheduling in the past)."""
 
 
+def _callback_label(callback: Callback) -> str:
+    """A stable per-event-type label for profiling: the callback's
+    qualname (``Peer._choke_round``, ``Timer._fire``, ...)."""
+    label = getattr(callback, "__qualname__", None)
+    if label is None:
+        label = type(callback).__name__
+    return label
+
+
 class _Event:
     """Internal heap entry.  Cancellation is a tombstone flag."""
 
@@ -64,6 +73,15 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self._events_processed = 0
+        self.profiler = None
+        """Optional :class:`repro.instrumentation.metrics.EngineProfiler`
+        (or anything with ``clock()`` and ``observe(label, elapsed,
+        queue_depth)``).  Profiling observes wall time only — simulated
+        time, event order and RNG draws are untouched."""
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None`` remove) a per-event profiler."""
+        self.profiler = profiler
 
     @property
     def now(self) -> float:
@@ -103,7 +121,17 @@ class Simulator:
                     continue
                 self._now = event.time
                 self._events_processed += 1
-                event.callback()
+                profiler = self.profiler
+                if profiler is None:
+                    event.callback()
+                else:
+                    started = profiler.clock()
+                    event.callback()
+                    profiler.observe(
+                        _callback_label(event.callback),
+                        profiler.clock() - started,
+                        len(self._heap),
+                    )
             self._now = max(self._now, end_time)
         finally:
             self._running = False
@@ -120,7 +148,17 @@ class Simulator:
                     continue
                 self._now = event.time
                 self._events_processed += 1
-                event.callback()
+                profiler = self.profiler
+                if profiler is None:
+                    event.callback()
+                else:
+                    started = profiler.clock()
+                    event.callback()
+                    profiler.observe(
+                        _callback_label(event.callback),
+                        profiler.clock() - started,
+                        len(self._heap),
+                    )
         finally:
             self._running = False
 

@@ -11,10 +11,11 @@ exposes those exact points as callbacks: attach a
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.choke import ChokeDecision
+    from repro.instrumentation.logger import Snapshot
     from repro.protocol.messages import Message
     from repro.sim.connection import Connection
     from repro.sim.peer import Peer
@@ -74,3 +75,101 @@ class PeerObserver:
         ``"announce_retry"``, ``"connection_reaped"``,
         ``"stale_requests_reset"``, ``"hash_failure_injected"``, ...
         """
+
+    def on_snapshot(self, now: float, snapshot: "Snapshot") -> None:
+        """A periodic sample of the observed peer's view was taken.
+
+        Snapshots are produced by exactly one sampler (the attached
+        :class:`~repro.instrumentation.logger.Instrumentation`'s timer)
+        and routed through the peer's observer chain, so every observer
+        in a :class:`FanoutObserver` sees the *same* snapshot object at
+        the same instant — never a re-computed, possibly divergent one.
+        """
+
+
+class FanoutObserver(PeerObserver):
+    """Dispatch every hook to an ordered tuple of observers.
+
+    This is the attachment point for the swarm-wide tracing layer: a
+    peer has a single ``observer`` slot, so recording both the classic
+    :class:`~repro.instrumentation.logger.Instrumentation` and a
+    :class:`~repro.instrumentation.trace.TracingObserver` (or any other
+    combination) goes through one fan-out.  Hooks are forwarded in
+    construction order; forwarding draws no randomness and schedules no
+    events, so wrapping observers in a fan-out never perturbs a seeded
+    run.
+    """
+
+    __slots__ = ("observers",)
+
+    def __init__(self, *observers: PeerObserver):
+        self.observers: Tuple[PeerObserver, ...] = tuple(
+            observer for observer in observers if observer is not None
+        )
+
+    def __contains__(self, observer: PeerObserver) -> bool:
+        return any(member is observer for member in self.observers)
+
+    def on_attached(self, peer: "Peer") -> None:
+        for observer in self.observers:
+            observer.on_attached(peer)
+
+    def on_connection_open(self, now: float, connection: "Connection") -> None:
+        for observer in self.observers:
+            observer.on_connection_open(now, connection)
+
+    def on_connection_close(self, now: float, connection: "Connection") -> None:
+        for observer in self.observers:
+            observer.on_connection_close(now, connection)
+
+    def on_message_sent(
+        self, now: float, connection: "Connection", message: "Message"
+    ) -> None:
+        for observer in self.observers:
+            observer.on_message_sent(now, connection, message)
+
+    def on_message_received(
+        self, now: float, connection: "Connection", message: "Message"
+    ) -> None:
+        for observer in self.observers:
+            observer.on_message_received(now, connection, message)
+
+    def on_choke_round(self, now: float, decision: "ChokeDecision") -> None:
+        for observer in self.observers:
+            observer.on_choke_round(now, decision)
+
+    def on_rate_sample(
+        self, now: float, connection: "Connection", download_rate: float, upload_rate: float
+    ) -> None:
+        for observer in self.observers:
+            observer.on_rate_sample(now, connection, download_rate, upload_rate)
+
+    def on_block_received(
+        self, now: float, connection: "Connection", piece: int, offset: int, length: int
+    ) -> None:
+        for observer in self.observers:
+            observer.on_block_received(now, connection, piece, offset, length)
+
+    def on_piece_completed(self, now: float, piece: int) -> None:
+        for observer in self.observers:
+            observer.on_piece_completed(now, piece)
+
+    def on_endgame_entered(self, now: float) -> None:
+        for observer in self.observers:
+            observer.on_endgame_entered(now)
+
+    def on_seed_state(self, now: float) -> None:
+        for observer in self.observers:
+            observer.on_seed_state(now)
+
+    def on_hash_failure(self, now: float, piece: int) -> None:
+        for observer in self.observers:
+            observer.on_hash_failure(now, piece)
+
+    def on_fault(self, now: float, kind: str) -> None:
+        for observer in self.observers:
+            observer.on_fault(now, kind)
+
+    def on_snapshot(self, now: float, snapshot: "Snapshot") -> None:
+        for observer in self.observers:
+            observer.on_snapshot(now, snapshot)

@@ -108,6 +108,11 @@ class Swarm:
             start_at=self.config.tick_interval,
         )
         self._on_tick_callbacks: List[Callable[[float], None]] = []
+        # Swarm-wide observation: when set, every peer added WITHOUT an
+        # explicit observer gets one from this factory (one observer per
+        # peer — observers hold per-peer state).  Used by the tracing
+        # layer to cover churn arrivals, which no caller sees directly.
+        self.observer_factory: Optional[Callable[[], PeerObserver]] = None
         # Fault injection.  The plan (and its dedicated RNG draw) exists
         # only when faults are actually configured, so a fault-free run
         # is byte-identical whether config.faults is None or disabled.
@@ -155,6 +160,8 @@ class Swarm:
         bitfield = initial_bitfield
         if bitfield is None and is_seed:
             bitfield = Bitfield.full(self.metainfo.geometry.num_pieces)
+        if observer is None and self.observer_factory is not None:
+            observer = self.observer_factory()
         peer = Peer(
             address=address,
             metainfo=self.metainfo,

@@ -30,9 +30,11 @@ from typing import Dict, List, Optional
 from repro.core.choke import Choker
 from repro.core.rarest_first import PieceSelector
 from repro.instrumentation.logger import Instrumentation
+from repro.instrumentation.trace import TraceRecorder, TracingObserver
 from repro.protocol.bitfield import Bitfield
 from repro.protocol.metainfo import Metainfo
 from repro.sim.config import KIB, PeerConfig, SwarmConfig
+from repro.sim.observer import FanoutObserver
 from repro.sim.peer import Peer
 from repro.sim.swarm import Swarm
 from repro.workloads.capacities import (
@@ -195,10 +197,14 @@ class ExperimentHarness:
     swarm: Swarm
     local_peer: Peer
     instrumentation: Instrumentation
+    tracer: Optional[TracingObserver] = None
+    """Structured-trace emitter for the local peer, when tracing is on."""
 
     def run(self, duration: Optional[float] = None) -> Instrumentation:
         self.swarm.run(duration if duration is not None else self.scenario.duration)
         self.instrumentation.finalize()
+        if self.tracer is not None:
+            self.tracer.finalize(self.swarm.simulator.now)
         return self.instrumentation
 
 
@@ -222,6 +228,8 @@ def build_experiment(
     swarm_config: Optional[SwarmConfig] = None,
     block_size: Optional[int] = None,
     client_mix=None,
+    trace_recorder: Optional[TraceRecorder] = None,
+    trace_all_peers: bool = False,
 ) -> ExperimentHarness:
     """Materialise one Table-I scenario into a runnable experiment.
 
@@ -233,6 +241,13 @@ def build_experiment(
     paper's §III-D identification machinery; the mix draws from a
     dedicated RNG so enabling it does not perturb the scenario's other
     random choices.
+
+    ``trace_recorder`` attaches a structured-trace emitter next to the
+    classic instrumentation on the local peer (fanned out, so both see
+    identical events); ``trace_all_peers`` additionally traces every
+    remote peer — including churn arrivals — into the same recorder.
+    Tracing draws no randomness, so a traced run's simulation outcome is
+    identical to an untraced one with the same seed.
     """
     capacities = capacities or INTERNET_2005
     client_rng = Random(seed ^ 0xC11E)
@@ -244,6 +259,10 @@ def build_experiment(
     )
     config = swarm_config or SwarmConfig(seed=seed, duration=scenario.duration)
     swarm = Swarm(metainfo, config)
+    if trace_recorder is not None and trace_all_peers:
+        # Installed before any peer is added, so the initial population,
+        # scheduled arrivals and churn joiners are all covered.
+        swarm.observer_factory = lambda: TracingObserver(trace_recorder)
     rng = Random(seed ^ 0x5EED)
 
     def remote_kwargs() -> Dict:
@@ -344,6 +363,14 @@ def build_experiment(
     # The instrumented local peer: paper defaults (20 kB/s upload cap,
     # unconstrained download).
     instrumentation = Instrumentation()
+    tracer = (
+        TracingObserver(trace_recorder) if trace_recorder is not None else None
+    )
+    local_observer = (
+        instrumentation
+        if tracer is None
+        else FanoutObserver(instrumentation, tracer)
+    )
     local_config = local_config or PeerConfig()
     local_holder: Dict[str, Peer] = {}
 
@@ -353,7 +380,7 @@ def build_experiment(
             selector=local_selector,
             leecher_choker=local_leecher_choker,
             seed_choker=local_seed_choker,
-            observer=instrumentation,
+            observer=local_observer,
         )
         instrumentation.start_sampling()
 
@@ -365,6 +392,7 @@ def build_experiment(
         swarm=swarm,
         local_peer=local_holder["peer"],
         instrumentation=instrumentation,
+        tracer=tracer,
     )
 
 

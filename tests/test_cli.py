@@ -157,3 +157,60 @@ class TestFigureVariants:
         code, out = run_cli(capsys, "figure", figure, *base_args)
         assert code == 0
         assert expect in out
+
+
+class TestTraceAndReplay:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-trace") / "run.jsonl"
+        code = main(
+            [
+                "run",
+                "--torrent", "2",
+                "--seed", "11",
+                "--duration", "300",
+                "--trace", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_trace_file_is_framed_jsonl(self, trace_file):
+        lines = trace_file.read_text().splitlines()
+        assert json.loads(lines[0]) == {"type": "trace_start", "v": 1}
+        footer = json.loads(lines[-1])
+        assert footer["type"] == "trace_end"
+        assert footer["events"] == len(lines) - 2
+
+    def test_replay_list_peers(self, trace_file, capsys):
+        code, out = run_cli(capsys, "replay", str(trace_file), "--list-peers")
+        assert code == 0
+        assert out.strip().startswith("10.")
+
+    @pytest.mark.parametrize("figure", ["entropy", "replication", "peer-set"])
+    def test_replay_figures_render(self, trace_file, capsys, figure):
+        code, out = run_cli(capsys, "replay", str(trace_file), "--figure", figure)
+        assert code == 0
+        assert out.strip()
+
+    def test_replay_figure_matches_live_run(self, trace_file, capsys):
+        live_code, live_out = run_cli(
+            capsys,
+            "figure", "entropy",
+            "--torrent", "2", "--seed", "11", "--duration", "300",
+        )
+        replay_code, replay_out = run_cli(
+            capsys, "replay", str(trace_file), "--figure", "entropy"
+        )
+        assert live_code == 0 and replay_code == 0
+        assert replay_out == live_out
+
+    def test_metrics_command(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "metrics",
+            "--torrent", "2", "--seed", "11", "--duration", "150",
+        )
+        assert code == 0
+        assert "messages.sent" in out
+        assert "engine profile" in out

@@ -9,6 +9,8 @@ MODULE_NAMES = [
     "repro.analysis.experiments",
     "repro.analysis.stats",
     "repro.core.rate_estimator",
+    "repro.instrumentation.metrics",
+    "repro.instrumentation.trace",
     "repro.protocol.bencode",
     "repro.protocol.peer_id",
     "repro.protocol.stream",

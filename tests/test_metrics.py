@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry and the engine profiler.
+
+Covers each primitive (counter, gauge, histogram, windowed rate), the
+registry's get-or-create and namespacing behaviour, the compatibility
+views the classic ``Instrumentation`` exposes on top of the registry,
+and the engine profiler's no-perturbation guarantee.
+"""
+
+import json
+
+import pytest
+
+from repro.instrumentation import EngineProfiler, Instrumentation, MetricsRegistry
+from repro.instrumentation.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    WindowedRate,
+)
+from repro.sim.config import KIB, SwarmConfig
+from repro.sim.engine import Simulator
+
+from tests.conftest import fast_config, tiny_swarm
+from tests.test_faults import TraceFingerprint
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("messages")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+    counter.reset_to(7.0)
+    assert counter.value == 7.0
+
+
+def test_gauge_tracks_high_water_mark():
+    gauge = Gauge("queue")
+    gauge.set(3.0)
+    gauge.set(9.0)
+    gauge.set(4.0)
+    assert gauge.value == 4.0
+    assert gauge.max_value == 9.0
+
+
+def test_histogram_bucketing_and_stats():
+    histogram = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    assert histogram.counts == [1, 1, 1, 1]  # one per bucket + overflow
+    assert histogram.total == 4
+    assert histogram.mean() == pytest.approx((0.5 + 5.0 + 50.0 + 500.0) / 4)
+    assert histogram.min == 0.5 and histogram.max == 500.0
+    assert histogram.quantile(0.25) == 1.0
+    assert histogram.quantile(1.0) is None  # overflow bucket
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=())
+
+
+def test_windowed_rate_evicts_old_samples():
+    rate = WindowedRate("blocks", window=10.0)
+    rate.record(0.0)
+    rate.record(5.0)
+    rate.record(9.0, occurrences=2)
+    assert rate.count == 4
+    # The window is half-open (now - window, now]: the t=0 sample has
+    # just aged out at t=10.
+    assert rate.rate(10.0) == pytest.approx(3 / 10.0)
+    assert rate.rate(25.0) == pytest.approx(0.0)
+    assert rate.count == 4  # lifetime count is not windowed
+
+
+def test_registry_get_or_create_and_namespacing():
+    registry = MetricsRegistry()
+    assert registry.counter("a.x") is registry.counter("a.x")
+    registry.inc("a.x")
+    registry.inc("a.y", 2.0)
+    registry.inc("b.z", 5.0)
+    assert registry.value("a.x") == 1.0
+    assert registry.value("missing") == 0.0
+    assert registry.with_prefix("a.") == {"x": 1.0, "y": 2.0}
+    document = registry.snapshot()
+    json.dumps(document)  # must be JSON-serialisable as-is
+    assert document["counters"]["b.z"] == 5.0
+    assert "a.x" in registry.render()
+
+
+def test_instrumentation_compatibility_views():
+    # messages_sent / messages_received / fault_counters survived the
+    # move onto the registry as thin views over the same counters.
+    instrumentation = Instrumentation()
+    instrumentation.on_fault(1.0, "loss")
+    instrumentation.on_fault(2.0, "loss")
+    instrumentation.on_fault(3.0, "crash")
+    assert instrumentation.fault_counters == {"loss": 2, "crash": 1}
+    assert instrumentation.metrics.value("fault.loss") == 2.0
+    instrumentation.messages_sent = 5
+    assert instrumentation.messages_sent == 5
+    assert instrumentation.metrics.value("messages.sent") == 5.0
+    instrumentation.fault_counters = {}
+    assert instrumentation.fault_counters == {"loss": 0, "crash": 0}
+
+
+def test_profiler_observe_and_report():
+    profiler = EngineProfiler()
+    profiler.observe("Peer._choke_round", 0.002, 7)
+    profiler.observe("Peer._choke_round", 0.004, 5)
+    profiler.observe("Timer._fire", 0.0001, 5)
+    registry = profiler.registry
+    assert registry.value("events.Peer._choke_round") == 2.0
+    assert registry.gauge("queue.depth").max_value == 7
+    report = profiler.report(limit=1)
+    assert "Peer._choke_round" in report
+    assert "Timer._fire" not in report  # below the limit cut
+
+
+def test_profiler_runs_engine_and_does_not_perturb():
+    def run(profiled):
+        swarm = tiny_swarm(
+            num_pieces=10,
+            seed=23,
+            swarm_config=SwarmConfig(seed=23, snapshot_interval=5.0),
+        )
+        profiler = None
+        if profiled:
+            profiler = EngineProfiler()
+            swarm.simulator.set_profiler(profiler)
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        fingerprint = TraceFingerprint()
+        swarm.add_peer(config=fast_config(upload=4 * KIB), observer=fingerprint)
+        swarm.add_peer(config=fast_config(upload=2 * KIB))
+        swarm.run(200.0)
+        return fingerprint.digest(), profiler
+
+    baseline, _ = run(profiled=False)
+    profiled_digest, profiler = run(profiled=True)
+    assert profiled_digest == baseline
+    observed = profiler.registry.with_prefix("events.")
+    assert observed and sum(observed.values()) > 0
+
+
+def test_simulator_set_profiler_roundtrip():
+    simulator = Simulator()
+    profiler = EngineProfiler()
+    simulator.set_profiler(profiler)
+    fired = []
+    simulator.schedule(1.0, lambda: fired.append(True))
+    simulator.run()
+    assert fired == [True]
+    assert sum(profiler.registry.with_prefix("events.").values()) == 1.0
+    simulator.set_profiler(None)
+    assert simulator.profiler is None

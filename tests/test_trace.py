@@ -1,0 +1,279 @@
+"""Structured tracing: schema, determinism, and the no-perturbation
+guarantee.
+
+Four families of tests:
+
+* **recorder unit behaviour** — header/footer framing, fingerprinting,
+  closed-recorder errors, file and in-memory sinks producing identical
+  bytes, and the hot-path ``emit_raw`` lines being exactly what the
+  generic JSON encoder would emit;
+* **determinism** — the same seeded experiment yields a byte-identical
+  JSONL trace and fingerprint on every run;
+* **no perturbation** — attaching tracing (fanned out next to the normal
+  instrumentation, or swarm-wide) leaves the simulation's own event
+  stream byte-identical to an untraced run;
+* **integrity** (+ ``chaos``) — ``iter_trace`` detects tampering, and a
+  trace whose writer crashed before writing the footer is still
+  consumable and replayable.
+"""
+
+import json
+
+import pytest
+
+from repro.instrumentation import (
+    Instrumentation,
+    TraceRecorder,
+    TracingObserver,
+    iter_trace,
+    replay_instrumentation,
+    traced_peers,
+)
+from repro.instrumentation.replay import TraceFormatError
+from repro.sim.config import KIB, SwarmConfig
+from repro.sim.faults import FAULT_PRESETS
+from repro.sim.observer import FanoutObserver
+from repro.workloads import build_experiment, scaled_copy, scenario_by_id
+
+from tests.conftest import fast_config, tiny_swarm
+from tests.test_faults import TraceFingerprint
+
+
+def small_scenario(torrent_id=2, duration=250.0):
+    return scaled_copy(scenario_by_id(torrent_id), duration=duration)
+
+
+def run_traced(seed=11, path=None, duration=250.0, trace_all=False):
+    recorder = TraceRecorder(path)
+    harness = build_experiment(
+        small_scenario(duration=duration),
+        seed=seed,
+        trace_recorder=recorder,
+        trace_all_peers=trace_all,
+    )
+    harness.run()
+    recorder.close()
+    return recorder, harness
+
+
+# ---------------------------------------------------------------------------
+# recorder unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_framing_and_fingerprint():
+    recorder = TraceRecorder()
+    recorder.emit({"t": 0.0, "type": "piece", "peer": "10.0.0.1", "piece": 3})
+    fingerprint = recorder.close()
+    lines = recorder.lines()
+    header = json.loads(lines[0])
+    footer = json.loads(lines[-1])
+    assert header == {"type": "trace_start", "v": 1}
+    assert footer["type"] == "trace_end"
+    assert footer["events"] == 1
+    assert footer["fingerprint"] == fingerprint
+    assert len(fingerprint) == 64
+    assert recorder.events_emitted == 1
+    assert [event["type"] for event in recorder.events()] == ["piece"]
+
+
+def test_recorder_close_is_idempotent_and_seals():
+    recorder = TraceRecorder()
+    first = recorder.close()
+    assert recorder.close() == first
+    with pytest.raises(RuntimeError):
+        recorder.emit({"t": 0.0, "type": "piece", "peer": "p", "piece": 0})
+    with pytest.raises(RuntimeError):
+        recorder.emit_raw("{}")
+
+
+def test_recorder_context_manager_closes():
+    with TraceRecorder() as recorder:
+        recorder.emit({"t": 1.0, "type": "endgame", "peer": "10.0.0.1"})
+    assert recorder.fingerprint is not None
+
+
+def test_file_and_memory_sinks_are_byte_identical(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    on_disk, _ = run_traced(seed=5, path=path, duration=150.0)
+    in_memory, _ = run_traced(seed=5, path=None, duration=150.0)
+    assert on_disk.lines() == in_memory.lines()
+    assert on_disk.fingerprint == in_memory.fingerprint
+
+
+def test_raw_lines_match_generic_json_encoding():
+    # The hot-path emit_raw must produce exactly what json.dumps would,
+    # so that consumers can't tell which encoder wrote a line.
+    recorder, _ = run_traced(seed=11, duration=150.0)
+    for line in recorder.lines():
+        event = json.loads(line)
+        assert json.dumps(event, separators=(",", ":")) == line
+
+
+def test_events_carry_schema_required_fields():
+    recorder, harness = run_traced(seed=11, duration=150.0)
+    events = recorder.events()
+    assert events, "expected a non-trivial trace"
+    for event in events:
+        assert set(("t", "type", "peer")) <= set(event)
+    assert events[0]["type"] == "attach"
+    assert events[-1]["type"] == "finalize"
+    assert {event["peer"] for event in events} == {harness.local_peer.address}
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+def test_same_seed_yields_byte_identical_trace():
+    first, _ = run_traced(seed=11)
+    second, _ = run_traced(seed=11)
+    assert first.lines() == second.lines()
+    assert first.fingerprint == second.fingerprint
+
+
+def test_different_seeds_yield_different_traces():
+    first, _ = run_traced(seed=11)
+    second, _ = run_traced(seed=12)
+    assert first.fingerprint != second.fingerprint
+
+
+def test_swarm_wide_trace_is_deterministic():
+    first, _ = run_traced(seed=11, duration=150.0, trace_all=True)
+    second, _ = run_traced(seed=11, duration=150.0, trace_all=True)
+    assert first.lines() == second.lines()
+    assert first.fingerprint == second.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# no perturbation
+# ---------------------------------------------------------------------------
+
+
+def fingerprinted_swarm(seed, attach_tracer):
+    """A tiny swarm whose local peer hashes every observable event;
+    optionally a TracingObserver rides along via fan-out."""
+    swarm = tiny_swarm(
+        num_pieces=12,
+        seed=seed,
+        swarm_config=SwarmConfig(seed=seed, snapshot_interval=5.0),
+    )
+    swarm.add_peer(config=fast_config(), is_seed=True)
+    fingerprint = TraceFingerprint()
+    recorder = None
+    if attach_tracer:
+        recorder = TraceRecorder()
+        observer = FanoutObserver(fingerprint, TracingObserver(recorder))
+    else:
+        observer = fingerprint
+    swarm.add_peer(config=fast_config(upload=4 * KIB), observer=observer)
+    for __ in range(4):
+        swarm.add_peer(config=fast_config(upload=2 * KIB))
+    swarm.run(400.0)
+    return fingerprint.digest(), recorder
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    # The engine-event fingerprint of a traced run must be byte-identical
+    # to the untraced baseline: tracing draws no randomness, schedules no
+    # events, and mutates no simulation state.
+    untraced, _ = fingerprinted_swarm(seed=21, attach_tracer=False)
+    traced, recorder = fingerprinted_swarm(seed=21, attach_tracer=True)
+    assert traced == untraced
+    assert recorder.events_emitted > 0
+
+
+def test_tracing_disabled_runs_reproduce_each_other():
+    first, _ = fingerprinted_swarm(seed=21, attach_tracer=False)
+    second, _ = fingerprinted_swarm(seed=21, attach_tracer=False)
+    assert first == second
+
+
+def test_traced_experiment_outcome_matches_untraced():
+    plain = build_experiment(small_scenario(), seed=11)
+    plain_trace = plain.run()
+    recorder, harness = run_traced(seed=11)
+    traced_trace = harness.instrumentation
+    assert traced_trace.peer.bitfield.count == plain_trace.peer.bitfield.count
+    assert traced_trace.seed_state_at == plain_trace.seed_state_at
+    assert traced_trace.piece_completions == plain_trace.piece_completions
+    assert [vars(s) for s in traced_trace.snapshots] == [
+        vars(s) for s in plain_trace.snapshots
+    ]
+
+
+# ---------------------------------------------------------------------------
+# integrity
+# ---------------------------------------------------------------------------
+
+
+def test_iter_trace_detects_tampering(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    run_traced(seed=5, path=path, duration=150.0)
+    lines = open(path).read().splitlines()
+    doctored = list(lines)
+    victim = json.loads(doctored[3])
+    victim["t"] = victim["t"] + 1.0
+    doctored[3] = json.dumps(victim, separators=(",", ":"))
+    tampered = str(tmp_path / "tampered.jsonl")
+    with open(tampered, "w") as handle:
+        handle.write("\n".join(doctored) + "\n")
+    with pytest.raises(TraceFormatError):
+        iter_trace(tampered)
+    # verify=False skips the fingerprint check for forensic reads.
+    assert iter_trace(tampered, verify=False)
+
+
+def test_iter_trace_rejects_wrong_schema_version(tmp_path):
+    path = str(tmp_path / "bad.jsonl")
+    with open(path, "w") as handle:
+        handle.write('{"type":"trace_start","v":999}\n')
+        handle.write('{"t":0.0,"type":"endgame","peer":"p"}\n')
+    with pytest.raises(TraceFormatError):
+        iter_trace(path)
+
+
+@pytest.mark.chaos
+def test_trace_without_footer_survives_writer_crash(tmp_path):
+    # A crashed writer leaves JSONL lines on disk but no trace_end
+    # footer; the reader must still parse, list peers and replay.
+    path = str(tmp_path / "crashed.jsonl")
+    recorder, harness = run_traced(seed=11, path=path, duration=250.0)
+    full = open(path).read().splitlines()
+    truncated = str(tmp_path / "truncated.jsonl")
+    with open(truncated, "w") as handle:
+        handle.write("\n".join(full[:-1]) + "\n")  # drop the footer
+    events = iter_trace(truncated)
+    assert events == recorder.events()
+    assert traced_peers(truncated) == [harness.local_peer.address]
+    replayed = replay_instrumentation(truncated)
+    assert isinstance(replayed, Instrumentation)
+    assert replayed.piece_completions == harness.instrumentation.piece_completions
+
+
+@pytest.mark.chaos
+def test_traced_faulty_run_is_deterministic_and_replayable(tmp_path):
+    def run(path):
+        scenario = small_scenario(duration=300.0)
+        recorder = TraceRecorder(path)
+        harness = build_experiment(
+            scenario,
+            seed=29,
+            swarm_config=SwarmConfig(
+                seed=29,
+                duration=scenario.duration,
+                faults=FAULT_PRESETS["heavy"],
+            ),
+            trace_recorder=recorder,
+        )
+        harness.run()
+        recorder.close()
+        return recorder, harness
+
+    first, harness = run(str(tmp_path / "a.jsonl"))
+    second, _ = run(str(tmp_path / "b.jsonl"))
+    assert first.fingerprint == second.fingerprint
+    assert first.lines() == second.lines()
+    replayed = replay_instrumentation(str(tmp_path / "a.jsonl"))
+    assert replayed.fault_counters == harness.instrumentation.fault_counters
