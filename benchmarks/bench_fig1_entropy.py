@@ -12,19 +12,27 @@ peer-availability ratios of §IV-A.1:
 Paper shape: most torrents sit close to 1 on both graphs; the torrents
 in a startup (transient) phase — 1, 2, 4, 5, 6, 8, 9 — are visibly lower
 on the top graph.
+
+The sweep executes as one campaign through
+:func:`_shared.run_campaign_sweep`: set ``REPRO_BENCH_WORKERS=4`` to
+shard the 26 torrents across 4 worker processes (byte-identical
+results, the campaign runner derives every shard's seed independently
+of scheduling) and ``REPRO_CAMPAIGN_CACHE=<dir>`` to reuse traces
+across invocations.
 """
 
 import math
 
 from repro.analysis import summarize_entropy
 
-from _shared import run_table1_experiment, sweep_ids, write_result
+from _shared import run_campaign_sweep, sweep_ids, write_result
 
 
 def _sweep():
     rows = []
+    experiments = run_campaign_sweep(sweep_ids())
     for torrent_id in sweep_ids():
-        scenario, trace, __ = run_table1_experiment(torrent_id)
+        scenario, trace, __ = experiments[torrent_id]
         summary = summarize_entropy(trace)
         rows.append((scenario, summary))
     return rows

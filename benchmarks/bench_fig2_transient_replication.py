@@ -12,6 +12,11 @@ copies.  The scaled swarm fits entirely inside the peer set, so the
 same phenomenon — pieces present only at the initial seed — reads as
 *one* copy.  The shape criterion is therefore "min <= 1 for most of the
 leecher phase", identical up to the seed's own membership.
+
+The experiment executes as campaign shard ``t08-paper-r0`` (through
+``_shared.run_table1_experiment``): the summary carries the shard's
+trace fingerprint, recorded below so the result file pins the exact
+run it was derived from.
 """
 
 from repro.analysis import replication_series
@@ -51,6 +56,8 @@ def bench_fig2_transient_replication(benchmark):
         % rare_fraction
     )
     lines.append("first full copy pushed at: %s" % summary["first_full_copy_at"])
+    if summary.get("trace_fingerprint"):
+        lines.append("shard trace fingerprint: %s" % summary["trace_fingerprint"])
     write_result("fig2_transient_replication", "\n".join(lines) + "\n")
 
     # Shape: rare pieces (only at the initial seed) for most of the

@@ -6,6 +6,10 @@ constant rate — the paper derives the seed's upload capacity (~36 kB/s)
 from this slope.  Shape: negative slope, good linear fit, and a decay
 rate close to the configured upload capacity of the scaled scenario's
 initial seed.
+
+Shares campaign shard ``t08-paper-r0`` with figure 2 (one simulation,
+two analyses): with ``REPRO_CAMPAIGN_CACHE`` set, both figures replay
+the same cached trace.
 """
 
 from repro.analysis import rarest_set_series
@@ -45,6 +49,8 @@ def bench_fig3_transient_rarest_set(benchmark):
         "  slope = %.4f pieces/s (R^2 = %.3f); initial seed pushes %.4f pieces/s"
         % (slope, fit if fit is not None else float("nan"), seed_rate_pieces)
     )
+    if summary.get("trace_fingerprint"):
+        lines.append("shard trace fingerprint: %s" % summary["trace_fingerprint"])
     write_result("fig3_transient_rarest_set", "\n".join(lines) + "\n")
 
     # Shape: linear decrease whose rate is set by the source capacity.

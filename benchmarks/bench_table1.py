@@ -4,16 +4,23 @@ Regenerates the paper's Table I: for each of the 26 monitored torrents,
 the number of seeds and leechers, their ratio, the maximum peer-set size
 and the content size — both the paper's values and the scaled values
 this reproduction simulates.
+
+The table is rendered from the *campaign expansion* of the default
+evaluation matrix (one shard per torrent), so it is also a check that
+``repro campaign run`` covers exactly the paper's 26 torrents with the
+historical per-torrent RNG streams.
 """
 
 import math
 
-from repro.workloads import TABLE1
+from repro.campaign import CampaignSpec, derive_shard_seed, expand_spec
+from repro.workloads import TABLE1, scenario_by_id
 
-from _shared import write_result
+from _shared import DEFAULT_SEED, write_result
 
 
 def _render() -> str:
+    shards = expand_spec(CampaignSpec(campaign_seed=DEFAULT_SEED))
     lines = [
         "Table I — torrent characteristics (paper -> scaled reproduction)",
         "%-3s %8s %8s %9s %7s %8s | %6s %7s %7s %9s %5s"
@@ -22,7 +29,8 @@ def _render() -> str:
             "S", "L", "ratio", "pieces", "state",
         ),
     ]
-    for scenario in TABLE1:
+    for shard in shards:
+        scenario = scenario_by_id(shard.torrent_id)
         paper_ratio = (
             "inf" if math.isinf(scenario.paper_ratio) else "%.2g" % scenario.paper_ratio
         )
@@ -59,3 +67,13 @@ def bench_table1(benchmark):
     assert len(no_seed) == 1
     assert len(single_seed) == 10
     assert len(seed_heavy) >= 4
+    # The default campaign covers exactly Table I, one shard per
+    # torrent, each on its historical RNG stream (seed + 37 * id).
+    shards = expand_spec(CampaignSpec(campaign_seed=DEFAULT_SEED))
+    assert [s.torrent_id for s in shards] == [s.torrent_id for s in TABLE1]
+    assert all(
+        shard.seed
+        == derive_shard_seed(DEFAULT_SEED, shard.torrent_id, "paper", 0)
+        == DEFAULT_SEED + 37 * shard.torrent_id
+        for shard in shards
+    )

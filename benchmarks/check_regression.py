@@ -1,0 +1,141 @@
+"""Benchmark-regression gate for the engine-throughput numbers.
+
+Compares a freshly measured ``bench_engine_throughput.py`` report
+against the committed baseline (``BENCH_engine_throughput.json`` at the
+repository root) and exits non-zero when the indexed-picker hot path
+regressed by more than the tolerance (default 25%).
+
+Raw events/sec are not comparable across machines, so the gate
+normalises by the *naive* path first: both paths execute the identical
+event sequence (trace-equivalence is asserted by the benchmark itself),
+so ``fresh_naive / baseline_naive`` measures the host-speed difference
+and the indexed path is judged after dividing it out::
+
+    machine_factor     = fresh.naive.eps / baseline.naive.eps
+    normalised_indexed = fresh.indexed.eps / machine_factor
+    regression iff       normalised_indexed < (1 - tolerance) * baseline.indexed.eps
+
+Equivalently: the indexed-over-naive *speedup ratio* must not fall by
+more than the tolerance.  A genuinely slower host cancels out; an
+indexed-path-only slowdown (the regression this gate exists for) does
+not.
+
+The committed baseline is a *full* (non ``--quick``) run; CI therefore
+measures in full mode too, because quick runs spend proportionally more
+time in the cheap early swarm phase and bias the naive-path
+normalisation.  Comparing across modes is allowed but warned about.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --output fresh.json
+    python benchmarks/check_regression.py --fresh fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine_throughput.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """One comparison row per swarm size present in both reports."""
+    rows = []
+    for name, base in baseline.get("swarms", {}).items():
+        new = fresh.get("swarms", {}).get(name)
+        if new is None:
+            continue
+        base_naive = base["naive"]["events_per_second"]
+        base_indexed = base["indexed"]["events_per_second"]
+        new_naive = new["naive"]["events_per_second"]
+        new_indexed = new["indexed"]["events_per_second"]
+        if not all((base_naive, base_indexed, new_naive, new_indexed)):
+            continue
+        machine_factor = new_naive / base_naive
+        normalised = new_indexed / machine_factor
+        ratio = normalised / base_indexed
+        rows.append(
+            {
+                "swarm": name,
+                "baseline_indexed_eps": base_indexed,
+                "fresh_indexed_eps": new_indexed,
+                "machine_factor": machine_factor,
+                "normalised_indexed_eps": normalised,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - tolerance,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="freshly measured report (bench_engine_throughput.py --output)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed baseline report (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown of the indexed path (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    if fresh.get("quick") != baseline.get("quick"):
+        print(
+            "warning: comparing quick=%s fresh against quick=%s baseline; "
+            "the naive-path normalisation is biased across modes"
+            % (fresh.get("quick"), baseline.get("quick")),
+            file=sys.stderr,
+        )
+    rows = compare(fresh, baseline, args.tolerance)
+    if not rows:
+        print("no comparable swarm entries between fresh and baseline",
+              file=sys.stderr)
+        return 2
+
+    print(
+        "%-8s %14s %14s %9s %14s %7s  %s"
+        % ("swarm", "base idx e/s", "fresh idx e/s", "machine",
+           "normalised", "ratio", "verdict")
+    )
+    regressed = []
+    for row in rows:
+        print(
+            "%-8s %14.1f %14.1f %8.2fx %14.1f %6.2fx  %s"
+            % (
+                row["swarm"],
+                row["baseline_indexed_eps"],
+                row["fresh_indexed_eps"],
+                row["machine_factor"],
+                row["normalised_indexed_eps"],
+                row["ratio"],
+                "REGRESSED" if row["regressed"] else "ok",
+            )
+        )
+        if row["regressed"]:
+            regressed.append(row["swarm"])
+    if regressed:
+        print(
+            "indexed-picker path regressed > %.0f%% on: %s"
+            % (args.tolerance * 100.0, ", ".join(regressed)),
+            file=sys.stderr,
+        )
+        return 1
+    print("indexed-picker path within %.0f%% of baseline" % (args.tolerance * 100.0))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache for campaign shard results.
+
+Each shard result is addressed by a SHA-256 key over the shard's fully
+resolved spec plus the code-relevant configuration (cache schema
+version, trace schema version, package version): the same shard of the
+same code always maps to the same key, and any change to the seed,
+scenario overrides or trace format yields a new key — so a resumed
+campaign after an interrupt or a spec edit re-executes exactly the
+missing/changed shards and nothing else.
+
+A cached shard is two files under the cache root::
+
+    <key>.json         the shard record (summary, fingerprint, status)
+    <key>.trace.jsonl  the replayable structured trace of the local peer
+
+The record file is written last with an atomic rename, so its presence
+marks a complete entry; an interrupted shard leaves only ``*.tmp``
+debris that the next run ignores and overwrites.  The trace file is the
+authoritative artefact: a cache hit replays it through
+:func:`repro.instrumentation.replay.replay_instrumentation` to rebuild
+the exact live ``Instrumentation``, figure-ready, without re-simulating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+from repro.campaign.spec import ShardSpec
+from repro.instrumentation.trace import TRACE_SCHEMA_VERSION
+
+CACHE_SCHEMA_VERSION = 1
+
+
+def shard_cache_key(shard: ShardSpec) -> str:
+    """The shard's content address (hex SHA-256).
+
+    Covers every field that changes what the simulation computes: the
+    resolved shard spec (seed included) and the versions of the cache
+    layout, trace schema and package.  Deliberately excludes anything
+    volatile (wall-clock, host, worker count).
+    """
+    payload = {
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "repro": __version__,
+        "shard": shard.as_payload(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ShardCache:
+    """Filesystem store of completed shard records, keyed by content."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def record_path(self, key: str) -> Path:
+        return self.root / ("%s.json" % key)
+
+    def trace_path(self, key: str) -> Path:
+        return self.root / ("%s.trace.jsonl" % key)
+
+    def trace_tmp_path(self, key: str) -> Path:
+        """Where a live run streams its trace before the entry commits.
+
+        Suffixed with the pid so concurrent workers (or a worker killed
+        mid-write and its retry) never collide on the same tmp file.
+        """
+        return self.root / ("%s.trace.jsonl.%d.tmp" % (key, os.getpid()))
+
+    def load(self, key: str) -> Optional[dict]:
+        """The cached record for *key*, or None.
+
+        An entry only counts when its record parses, self-identifies
+        with the same key, and its trace file is present — a half-written
+        or cross-version entry reads as a miss, not an error.
+        """
+        path = self.record_path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if record.get("key") != key:
+            return None
+        if not self.trace_path(key).exists():
+            return None
+        return record
+
+    def store(self, key: str, record: dict, trace_tmp: Optional[Path] = None) -> None:
+        """Commit one shard entry atomically.
+
+        The trace tmp file (when the run streamed one) is renamed into
+        place first, then the record lands via tmp-write + rename: a
+        crash between the two leaves no visible record, so the entry
+        never looks complete before it is.
+        """
+        if trace_tmp is not None:
+            os.replace(trace_tmp, self.trace_path(key))
+        record_tmp = self.root / ("%s.json.%d.tmp" % (key, os.getpid()))
+        record_tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        os.replace(record_tmp, self.record_path(key))
+
+    def remove(self, key: str) -> None:
+        for path in (self.record_path(key), self.trace_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def keys(self) -> List[str]:
+        """Keys of every complete entry under the root (sorted)."""
+        found = []
+        for path in sorted(self.root.glob("*.json")):
+            key = path.stem
+            if self.trace_path(key).exists():
+                found.append(key)
+        return found

@@ -1,0 +1,214 @@
+"""Declarative experiment-campaign specifications.
+
+A *campaign* is the cross product ``torrent ids x scenarios x
+replicates`` — the paper's evaluation is the default campaign: all 26
+Table-I torrents, the ``paper`` scenario, one replicate.  A campaign
+expands into independent :class:`ShardSpec` run shards, each carrying
+everything a worker process needs to execute it: the resolved RNG seed,
+the scenario overrides (duration, block size, fault preset) and a
+stable identity (:attr:`ShardSpec.shard_id`).
+
+**Seed derivation.**  Each shard's RNG seed is a pure function of
+``(campaign_seed, torrent_id, scenario, replicate)``
+(:func:`derive_shard_seed`), so results are byte-identical regardless
+of worker count, scheduling order, or which shards were served from
+cache.  Replicate 0 of the default ``paper`` scenario reproduces the
+historical per-torrent stream ``campaign_seed + 37 * torrent_id`` that
+the figure benchmarks have always used (see ``benchmarks/_shared.py``),
+keeping the recorded EXPERIMENTS.md shapes and any cached results
+valid; every other coordinate draws an independent stream from a stable
+SHA-256 mix of the full tuple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import List, Optional, Tuple
+
+DEFAULT_CAMPAIGN_SEED = 3
+DEFAULT_SCENARIO = "paper"
+PAPER_TORRENT_IDS: Tuple[int, ...] = tuple(range(1, 27))
+
+
+@dataclass(frozen=True)
+class ScenarioVariant:
+    """A named transform applied on top of a Table-I scenario."""
+
+    name: str
+    duration: Optional[float] = None
+    """Override the scenario's simulated run length (seconds)."""
+
+    block_size: Optional[int] = None
+    """Override the torrent's block size (bytes)."""
+
+    faults: Optional[str] = None
+    """Fault-injection preset name (``repro.sim.faults.FAULT_PRESETS``)."""
+
+
+#: The scenario registry.  ``paper`` is the evaluation as published;
+#: ``smoke`` is the same swarm on a short window (CI and tests);
+#: the ``faults-*`` variants rerun the campaign under the PR-2 chaos
+#: presets, the sweep related work asks for.
+SCENARIOS = {
+    "paper": ScenarioVariant("paper"),
+    "smoke": ScenarioVariant("smoke", duration=240.0),
+    "faults-light": ScenarioVariant("faults-light", faults="light"),
+    "faults-heavy": ScenarioVariant("faults-heavy", faults="heavy"),
+}
+
+
+def derive_shard_seed(
+    campaign_seed: int, torrent_id: int, scenario: str, replicate: int
+) -> int:
+    """Deterministic per-shard RNG seed.
+
+    Replicate 0 of the default scenario preserves the historical
+    ``seed + 37 * id`` stream (module docstring); other coordinates get
+    an independent 64-bit stream from a stable hash of the tuple.
+    """
+    if scenario == DEFAULT_SCENARIO and replicate == 0:
+        return campaign_seed + 37 * torrent_id
+    payload = repr((campaign_seed, torrent_id, scenario, replicate)).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent run of a campaign: a fully resolved experiment."""
+
+    torrent_id: int
+    scenario: str
+    replicate: int
+    seed: int
+    duration: Optional[float] = None
+    block_size: Optional[int] = None
+    faults: Optional[str] = None
+
+    @property
+    def shard_id(self) -> str:
+        return "t%02d-%s-r%d" % (self.torrent_id, self.scenario, self.replicate)
+
+    def as_payload(self) -> dict:
+        """A picklable/JSON-safe dict from which the shard can be rebuilt."""
+        return {
+            "torrent_id": self.torrent_id,
+            "scenario": self.scenario,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "duration": self.duration,
+            "block_size": self.block_size,
+            "faults": self.faults,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardSpec":
+        return cls(
+            torrent_id=payload["torrent_id"],
+            scenario=payload["scenario"],
+            replicate=payload["replicate"],
+            seed=payload["seed"],
+            duration=payload.get("duration"),
+            block_size=payload.get("block_size"),
+            faults=payload.get("faults"),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative description of a campaign.
+
+    ``duration``/``block_size`` apply to every shard and take precedence
+    over the scenario variant's own overrides (they are the explicit
+    knob, the variant is the default).
+    """
+
+    name: str = "paper-table1"
+    torrent_ids: Tuple[int, ...] = PAPER_TORRENT_IDS
+    scenarios: Tuple[str, ...] = (DEFAULT_SCENARIO,)
+    replicates: int = 1
+    campaign_seed: int = DEFAULT_CAMPAIGN_SEED
+    duration: Optional[float] = None
+    block_size: Optional[int] = None
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "torrent_ids": list(self.torrent_ids),
+            "scenarios": list(self.scenarios),
+            "replicates": self.replicates,
+            "campaign_seed": self.campaign_seed,
+            "duration": self.duration,
+            "block_size": self.block_size,
+        }
+
+
+def expand_spec(
+    spec: CampaignSpec, shard_filter: Optional[str] = None
+) -> List[ShardSpec]:
+    """Expand a spec into its shards, in deterministic order.
+
+    Shards are ordered by ``(torrent_id, scenario position, replicate)``
+    — the order is part of the campaign's identity and independent of
+    how the shards are later scheduled.  ``shard_filter`` keeps only
+    shards whose :attr:`~ShardSpec.shard_id` matches the glob (or
+    contains it as a substring), e.g. ``"t07-*"`` or ``"faults"``.
+    """
+    shards: List[ShardSpec] = []
+    for torrent_id in spec.torrent_ids:
+        for scenario in spec.scenarios:
+            variant = SCENARIOS.get(scenario)
+            if variant is None:
+                raise KeyError(
+                    "unknown scenario %r (have: %s)"
+                    % (scenario, ", ".join(sorted(SCENARIOS)))
+                )
+            for replicate in range(spec.replicates):
+                shard = ShardSpec(
+                    torrent_id=torrent_id,
+                    scenario=scenario,
+                    replicate=replicate,
+                    seed=derive_shard_seed(
+                        spec.campaign_seed, torrent_id, scenario, replicate
+                    ),
+                    duration=(
+                        spec.duration
+                        if spec.duration is not None
+                        else variant.duration
+                    ),
+                    block_size=(
+                        spec.block_size
+                        if spec.block_size is not None
+                        else variant.block_size
+                    ),
+                    faults=variant.faults,
+                )
+                if shard_filter and not _matches(shard.shard_id, shard_filter):
+                    continue
+                shards.append(shard)
+    return shards
+
+
+def _matches(shard_id: str, pattern: str) -> bool:
+    return fnmatch(shard_id, pattern) or pattern in shard_id
+
+
+def parse_torrent_ids(text: str) -> Tuple[int, ...]:
+    """Parse a ``--torrents`` argument: ``all`` or ``1,2,7-9``."""
+    if text.strip().lower() == "all":
+        return PAPER_TORRENT_IDS
+    ids: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            low, high = part.split("-", 1)
+            ids.extend(range(int(low), int(high) + 1))
+        else:
+            ids.append(int(part))
+    for torrent_id in ids:
+        if not 1 <= torrent_id <= 26:
+            raise ValueError("torrent id %d outside Table I (1-26)" % torrent_id)
+    return tuple(dict.fromkeys(ids))

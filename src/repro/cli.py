@@ -13,7 +13,14 @@
     python -m repro replay out.jsonl --figure entropy
     python -m repro metrics --torrent 19 --duration 400
     python -m repro model --arrival-rate 0.05 --upload 4096 --content 131072
+    python -m repro campaign run --workers 4 --cache-dir campaign-cache
+    python -m repro campaign run --torrents 2,3,13,19 --scenario smoke --workers 2
+    python -m repro campaign status --cache-dir campaign-cache
 
+``campaign`` runs a whole experiment matrix (torrents x scenarios x
+replicates) across worker processes with content-addressed caching —
+``repro campaign run`` executes the missing shards and writes a
+``manifest.json``; ``repro campaign status`` renders that manifest.
 ``run`` executes one Table-I experiment with the instrumented client;
 ``figure`` runs it and prints the requested figure's data; ``analyze``
 recomputes figures from a saved trace without re-simulating; ``replay``
@@ -26,8 +33,10 @@ with the metrics registry and engine profiler enabled and dumps both;
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import (
@@ -142,6 +151,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze_parser.add_argument("--leecher-only", action="store_true")
 
+    campaign_parser = commands.add_parser(
+        "campaign",
+        help="run/inspect a sharded, cached, resumable experiment campaign",
+    )
+    campaign_commands = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    campaign_run = campaign_commands.add_parser(
+        "run",
+        help="execute a campaign's missing shards across worker processes",
+    )
+    campaign_run.add_argument(
+        "--name", default="paper-table1", help="campaign name (manifest label)"
+    )
+    campaign_run.add_argument(
+        "--torrents", default="all",
+        help="'all' (the 26-torrent paper matrix) or e.g. '2,3,13,19' / '7-9'",
+    )
+    campaign_run.add_argument(
+        "--scenario", default="paper",
+        help="comma-separated scenario variants: paper, smoke, "
+        "faults-light, faults-heavy",
+    )
+    campaign_run.add_argument("--replicates", type=int, default=1)
+    campaign_run.add_argument(
+        "--campaign-seed", type=int, default=3,
+        help="root seed every shard's RNG stream derives from",
+    )
+    campaign_run.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    campaign_run.add_argument(
+        "--cache-dir", default="campaign-cache",
+        help="content-addressed shard cache + manifest directory",
+    )
+    campaign_run.add_argument(
+        "--filter", default=None, metavar="GLOB",
+        help="only shards whose id matches (e.g. 't07-*', 'faults')",
+    )
+    resume_group = campaign_run.add_mutually_exclusive_group()
+    resume_group.add_argument(
+        "--resume", dest="resume", action="store_true", default=True,
+        help="serve completed shards from the cache (default)",
+    )
+    resume_group.add_argument(
+        "--fresh", dest="resume", action="store_false",
+        help="ignore cached shard results and re-execute everything",
+    )
+    campaign_run.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-shard wall-clock budget in seconds",
+    )
+    campaign_run.add_argument(
+        "--retries", type=int, default=1,
+        help="retries per shard after a worker crash or error",
+    )
+    campaign_run.add_argument(
+        "--duration", type=float, default=None,
+        help="override every shard's simulated run length",
+    )
+    campaign_run.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="also write the aggregated campaign table into DIR "
+        "(e.g. benchmarks/results)",
+    )
+    campaign_status = campaign_commands.add_parser(
+        "status", help="render a campaign's manifest.json"
+    )
+    campaign_status.add_argument("--cache-dir", default="campaign-cache")
+    campaign_status.add_argument(
+        "--json", action="store_true", help="dump the raw manifest JSON"
+    )
+
     model_parser = commands.add_parser(
         "model", help="evaluate the Qiu-Srikant fluid model"
     )
@@ -193,6 +275,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "metrics": _cmd_metrics,
         "model": _cmd_model,
+        "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
 
@@ -429,6 +512,70 @@ def _print_figure(trace: Instrumentation, name: str, args) -> None:
                 )
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError("unknown figure %r" % name)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignRunner,
+        CampaignSpec,
+        MANIFEST_NAME,
+        parse_torrent_ids,
+        render_campaign_table,
+        render_manifest_table,
+    )
+
+    if args.campaign_command == "status":
+        manifest_path = Path(args.cache_dir) / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except OSError:
+            print("no manifest at %s (run a campaign first)" % manifest_path,
+                  file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(manifest, indent=2))
+        else:
+            print(render_manifest_table(manifest), end="")
+        return 0
+
+    spec = CampaignSpec(
+        name=args.name,
+        torrent_ids=parse_torrent_ids(args.torrents),
+        scenarios=tuple(
+            name.strip() for name in args.scenario.split(",") if name.strip()
+        ),
+        replicates=args.replicates,
+        campaign_seed=args.campaign_seed,
+        duration=args.duration,
+    )
+    runner = CampaignRunner(
+        spec,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    result = runner.run(resume=args.resume, shard_filter=args.filter)
+    table = render_campaign_table(list(result.records.values()))
+    summary_path = Path(args.cache_dir) / ("campaign_%s.txt" % spec.name)
+    summary_path.write_text(table)
+    if args.results_dir:
+        results_dir = Path(args.results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        (results_dir / ("campaign_%s.txt" % spec.name)).write_text(table)
+    print(table, end="")
+    counts = result.counts
+    print(
+        "shards=%d ok=%d failed=%d timeout=%d cache_hits=%d executed=%d"
+        % (
+            counts["shards"], counts["ok"], counts["failed"],
+            counts["timeout"], counts["cache_hits"], counts["executed"],
+        )
+    )
+    print("manifest: %s" % (Path(args.cache_dir) / MANIFEST_NAME))
+    print("manifest_fingerprint: %s" % result.fingerprint)
+    return 1 if result.failed_shards() else 0
 
 
 def _cmd_model(args: argparse.Namespace) -> int:

@@ -31,7 +31,6 @@ from repro.protocol.messages import (
     Interested,
     Message,
     NotInterested,
-    Piece,
 )
 from repro.sim.connection import Connection
 from repro.sim.observer import FanoutObserver, PeerObserver
@@ -409,7 +408,7 @@ class Instrumentation(PeerObserver):
         self.seed_state_at = now
         # Mark byte totals on every open connection so leecher-state and
         # seed-state transfers can be separated (figures 9 and 11).
-        for state_key, state in self._connection_states.items():
+        for state in self._connection_states.values():
             connection = self._find_connection(state)
             if connection is not None:
                 state.marker_uploaded = connection.uploaded.total

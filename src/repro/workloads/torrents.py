@@ -23,7 +23,7 @@ torrents start from scratch: one slow initial seed, empty leechers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from random import Random
 from typing import Dict, List, Optional
 
