@@ -224,6 +224,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="dump the raw manifest JSON"
     )
 
+    net_parser = commands.add_parser(
+        "net", help="live asyncio peer-wire swarms over localhost TCP"
+    )
+    net_commands = net_parser.add_subparsers(dest="net_command", required=True)
+    net_run = net_commands.add_parser(
+        "run",
+        help="download a synthetic torrent through a live localhost swarm "
+        "and report per-peer outcomes",
+    )
+    net_run.add_argument("--seeds", type=int, default=1, help="initial seeds")
+    net_run.add_argument("--leechers", type=int, default=5)
+    net_run.add_argument("--pieces", type=int, default=24)
+    net_run.add_argument(
+        "--piece-size", type=int, default=16 * 1024, help="bytes per piece"
+    )
+    net_run.add_argument(
+        "--block-size", type=int, default=4 * 1024, help="bytes per block"
+    )
+    net_run.add_argument("--seed", type=int, default=0, help="swarm RNG seed")
+    net_run.add_argument(
+        "--upload", type=float, default=256.0, help="per-peer upload cap, KiB/s"
+    )
+    net_run.add_argument(
+        "--choke-interval", type=float, default=0.5,
+        help="seconds between choke rounds (wall clock)",
+    )
+    net_run.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="abort if the swarm has not completed after this many seconds",
+    )
+    net_run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the swarm-wide schema-v1 JSONL trace to PATH "
+        "(replayable with 'repro replay')",
+    )
+    net_run.add_argument(
+        "--check", action="store_true",
+        help="run the conformance checks over the trace after the download",
+    )
+
     model_parser = commands.add_parser(
         "model", help="evaluate the Qiu-Srikant fluid model"
     )
@@ -275,6 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "replay": _cmd_replay,
         "metrics": _cmd_metrics,
         "model": _cmd_model,
+        "net": _cmd_net,
         "campaign": _cmd_campaign,
     }[args.command]
     return handler(args)
@@ -576,6 +617,70 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print("manifest: %s" % (Path(args.cache_dir) / MANIFEST_NAME))
     print("manifest_fingerprint: %s" % result.fingerprint)
     return 1 if result.failed_shards() else 0
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    from repro.net.conformance import check_trace
+    from repro.net.swarm import LiveSwarm
+    from repro.protocol.metainfo import make_metainfo
+    from repro.sim.config import KIB, PeerConfig
+
+    metainfo = make_metainfo(
+        "net-live",
+        num_pieces=args.pieces,
+        piece_size=args.piece_size,
+        block_size=args.block_size,
+    )
+    recorder = None
+    if args.trace is not None or args.check:
+        recorder = TraceRecorder(args.trace)
+    config = PeerConfig(
+        upload_capacity=args.upload * KIB,
+        choke_interval=args.choke_interval,
+        rate_window=max(1.0, 2 * args.choke_interval),
+        min_peer_set=1,
+    )
+    swarm = LiveSwarm(
+        metainfo, seed=args.seed, config=config, recorder=recorder
+    )
+    swarm.add_peers(args.seeds, args.leechers)
+    result = swarm.run_sync(timeout=args.timeout)
+
+    rows = []
+    for address in result.addresses:
+        completed = result.completed_at.get(address)
+        rows.append(
+            [
+                address,
+                "seed" if completed == 0.0 else "leecher",
+                "%.2f" % completed if completed is not None else "-",
+                "%.0f" % result.uploaded.get(address, 0.0),
+                "%.0f" % result.downloaded.get(address, 0.0),
+            ]
+        )
+    print(ascii_table(["peer", "role", "done at (s)", "up (B)", "down (B)"], rows))
+    print(
+        "%d/%d peers complete in %.2f s wall clock"
+        % (len(result.completed_at), len(result.addresses), result.duration)
+    )
+    if args.trace is not None:
+        print("trace: %s (fingerprint %s)" % (args.trace, result.trace_fingerprint))
+    if args.check:
+        report = check_trace(recorder, num_pieces=args.pieces)
+        print(
+            "conformance: %s  %s"
+            % (
+                "OK" if report.ok else "%d VIOLATIONS" % len(report.violations),
+                " ".join(
+                    "%s=%d" % item for item in sorted(report.checks.items())
+                ),
+            )
+        )
+        for violation in report.violations[:10]:
+            print("  " + violation)
+        if not report.ok:
+            return 1
+    return 0 if result.all_complete else 1
 
 
 def _cmd_model(args: argparse.Namespace) -> int:

@@ -1,0 +1,218 @@
+"""One endpoint's view of a live TCP link.
+
+A :class:`NetConnection` mirrors the protocol state of the simulator's
+:class:`repro.sim.connection.Connection` — the four choke/interest
+booleans, the remote bitfield, the upload queue and the per-direction
+:class:`~repro.core.rate_estimator.ByteCounter` pair — but rides an
+asyncio stream pair instead of a twin object.  It exposes the exact
+attribute surface the instrumentation layer reads
+(``remote.address`` / ``remote.peer_id.client_id`` /
+``remote.bitfield`` / ``initiated_by_local`` / ``uploaded`` /
+``downloaded``), so a :class:`~repro.instrumentation.trace.TracingObserver`
+or :class:`~repro.instrumentation.logger.Instrumentation` attached to a
+live peer emits the same schema-v1 events as in the sim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.core.rate_estimator import ByteCounter
+from repro.protocol.bitfield import Bitfield
+from repro.protocol.metainfo import BlockRef
+from repro.protocol.peer_id import PeerId, parse_client_id
+from repro.protocol.stream import MessageStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.peer import NetPeer
+
+
+class WallClock:
+    """Monotonic seconds since the swarm started.
+
+    Shared by every peer of a :class:`~repro.net.swarm.LiveSwarm` so all
+    trace timestamps live on one axis.  Duck-types the one attribute the
+    observers read from the simulator (``peer.simulator.now``), which is
+    what lets the sim's instrumentation attach to live peers unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+
+class RemotePeerHandle:
+    """The instrumentation-facing identity of the peer behind a link.
+
+    In the simulator ``connection.remote`` is the remote peer object
+    itself; over a socket only the handshake identity and the advertised
+    bitfield are known.  This handle carries exactly the fields the
+    observers dereference.
+    """
+
+    __slots__ = ("address", "peer_id", "_connection")
+
+    def __init__(self, address: str, peer_id: PeerId, connection: "NetConnection"):
+        self.address = address
+        self.peer_id = peer_id
+        self._connection = connection
+
+    @property
+    def bitfield(self) -> Bitfield:
+        return self._connection.remote_bitfield
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "RemotePeerHandle(%s, %s)" % (self.address, self.peer_id.client_id)
+
+
+def make_remote_handle(
+    address: str, raw_peer_id: bytes, connection: "NetConnection"
+) -> RemotePeerHandle:
+    client_id = parse_client_id(raw_peer_id)
+    peer_id = PeerId(raw=raw_peer_id, client_id=client_id or "unknown")
+    return RemotePeerHandle(address, peer_id, connection)
+
+
+class NetConnection:
+    """Protocol + transfer state of one live link endpoint."""
+
+    __slots__ = (
+        "local",
+        "remote",
+        "reader",
+        "writer",
+        "stream",
+        "remote_bitfield",
+        "am_choking",
+        "peer_choking",
+        "am_interested",
+        "peer_interested",
+        "initiated_by_local",
+        "established_at",
+        "closed",
+        "upload_queue",
+        "upload_ready",
+        "uploaded",
+        "downloaded",
+        "outstanding",
+        "last_unchoked_local",
+        "reader_task",
+        "uploader_task",
+    )
+
+    def __init__(
+        self,
+        local: "NetPeer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        initiated_by_local: bool,
+        now: float,
+        rate_window: float = 20.0,
+    ):
+        self.local = local
+        self.remote: Optional[RemotePeerHandle] = None  # set after handshake
+        self.reader = reader
+        self.writer = writer
+        # The handshake is consumed separately (fixed 68-byte read), so
+        # the frame decoder starts directly on length-prefixed messages.
+        self.stream = MessageStream(expect_handshake=False)
+        self.remote_bitfield = Bitfield(local.metainfo.geometry.num_pieces)
+        self.am_choking = True
+        self.peer_choking = True
+        self.am_interested = False
+        self.peer_interested = False
+        self.initiated_by_local = initiated_by_local
+        self.established_at = now
+        self.closed = False
+        # Upload direction (local serves remote).
+        self.upload_queue: Deque[BlockRef] = deque()
+        self.upload_ready = asyncio.Event()
+        self.uploaded = ByteCounter(rate_window)
+        self.downloaded = ByteCounter(rate_window)
+        # Download direction (local requests from remote).
+        self.outstanding: set = set()  # BlockRefs requested, not yet received
+        self.last_unchoked_local: Optional[float] = None
+        self.reader_task: Optional[asyncio.Task] = None
+        self.uploader_task: Optional[asyncio.Task] = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def remote_key(self) -> str:
+        """Picker/choker key for this link: the remote's canonical address."""
+        assert self.remote is not None
+        return self.remote.address
+
+    # -- upload queue ------------------------------------------------------
+
+    def enqueue_upload(self, block: BlockRef) -> None:
+        if block in self.upload_queue:
+            return
+        self.upload_queue.append(block)
+        self.upload_ready.set()
+
+    def pop_upload(self) -> Optional[BlockRef]:
+        if self.upload_queue:
+            return self.upload_queue.popleft()
+        self.upload_ready.clear()
+        return None
+
+    def clear_upload_queue(self) -> None:
+        self.upload_queue.clear()
+        self.upload_ready.clear()
+
+    def cancel_queued_block(self, block: BlockRef) -> bool:
+        try:
+            self.upload_queue.remove(block)
+        except ValueError:
+            return False
+        return True
+
+    # -- transport ---------------------------------------------------------
+
+    def write_raw(self, data: bytes) -> None:
+        """Best-effort write; transport errors surface on the reader."""
+        if self.closed or self.writer.is_closing():
+            return
+        try:
+            self.writer.write(data)
+        except (OSError, RuntimeError):
+            # Write after EOF/close during teardown races: the reader
+            # loop is the single place link death is handled.
+            pass
+
+    def abort(self) -> None:
+        """RST the link (crash semantics: no FIN, remotes see a reset)."""
+        transport = self.writer.transport
+        if transport is not None:
+            # transport.abort() alone only guarantees an RST when send
+            # data is pending; with an empty buffer the kernel sends a
+            # polite FIN and the remote sees a clean EOF instead of a
+            # crash.  SO_LINGER(on, 0) forces the RST either way.
+            sock = transport.get_extra_info("socket")
+            if sock is not None:
+                try:
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                except OSError:  # pragma: no cover - already dead
+                    pass
+            transport.abort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        remote = self.remote.address if self.remote is not None else "?"
+        return "NetConnection(%s -> %s%s)" % (
+            self.local.address,
+            remote,
+            ", closed" if self.closed else "",
+        )
