@@ -2,23 +2,23 @@
 
 Compares a freshly measured ``bench_engine_throughput.py`` report
 against the committed baseline (``BENCH_engine_throughput.json`` at the
-repository root) and exits non-zero when the indexed-picker hot path
+repository root) and exits non-zero when a gated hot path — the
+``indexed`` picker path or the ``fast`` mega-swarm engine path —
 regressed by more than the tolerance (default 25%).
 
 Raw events/sec are not comparable across machines, so the gate
-normalises by the *naive* path first: both paths execute the identical
+normalises by the *naive* path first: all paths execute the identical
 event sequence (trace-equivalence is asserted by the benchmark itself),
 so ``fresh_naive / baseline_naive`` measures the host-speed difference
-and the indexed path is judged after dividing it out::
+and each gated path is judged after dividing it out::
 
-    machine_factor     = fresh.naive.eps / baseline.naive.eps
-    normalised_indexed = fresh.indexed.eps / machine_factor
-    regression iff       normalised_indexed < (1 - tolerance) * baseline.indexed.eps
+    machine_factor  = fresh.naive.eps / baseline.naive.eps
+    normalised_path = fresh.<path>.eps / machine_factor
+    regression iff    normalised_path < (1 - tolerance) * baseline.<path>.eps
 
-Equivalently: the indexed-over-naive *speedup ratio* must not fall by
-more than the tolerance.  A genuinely slower host cancels out; an
-indexed-path-only slowdown (the regression this gate exists for) does
-not.
+Equivalently: a path's speedup-over-naive ratio must not fall by more
+than the tolerance.  A genuinely slower host cancels out; a
+hot-path-only slowdown (the regression this gate exists for) does not.
 
 The committed baseline is a *full* (non ``--quick``) run; CI therefore
 measures in full mode too, because quick runs spend proportionally more
@@ -44,33 +44,47 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine_throughput.json"
 DEFAULT_TOLERANCE = 0.25
 
 
+#: Gated hot paths.  Each is normalised by the naive row of the same
+#: tier, so only the "xlarge" mega-swarm tier (which has no naive run —
+#: the reference path is far too slow at 1001 peers) is exempt.
+GATED_LABELS = ("indexed", "fast")
+
+
 def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
-    """One comparison row per swarm size present in both reports."""
+    """One comparison row per (swarm size, gated label) present in both
+    reports.  Baselines committed before the fast engine path existed
+    have no ``fast`` row; the label is then skipped, not failed."""
     rows = []
     for name, base in baseline.get("swarms", {}).items():
         new = fresh.get("swarms", {}).get(name)
-        if new is None:
+        if new is None or "naive" not in base or "naive" not in new:
             continue
         base_naive = base["naive"]["events_per_second"]
-        base_indexed = base["indexed"]["events_per_second"]
         new_naive = new["naive"]["events_per_second"]
-        new_indexed = new["indexed"]["events_per_second"]
-        if not all((base_naive, base_indexed, new_naive, new_indexed)):
+        if not base_naive or not new_naive:
             continue
         machine_factor = new_naive / base_naive
-        normalised = new_indexed / machine_factor
-        ratio = normalised / base_indexed
-        rows.append(
-            {
-                "swarm": name,
-                "baseline_indexed_eps": base_indexed,
-                "fresh_indexed_eps": new_indexed,
-                "machine_factor": machine_factor,
-                "normalised_indexed_eps": normalised,
-                "ratio": ratio,
-                "regressed": ratio < 1.0 - tolerance,
-            }
-        )
+        for label in GATED_LABELS:
+            if label not in base or label not in new:
+                continue
+            base_eps = base[label]["events_per_second"]
+            new_eps = new[label]["events_per_second"]
+            if not base_eps or not new_eps:
+                continue
+            normalised = new_eps / machine_factor
+            ratio = normalised / base_eps
+            rows.append(
+                {
+                    "swarm": name,
+                    "label": label,
+                    "baseline_eps": base_eps,
+                    "fresh_eps": new_eps,
+                    "machine_factor": machine_factor,
+                    "normalised_eps": normalised,
+                    "ratio": ratio,
+                    "regressed": ratio < 1.0 - tolerance,
+                }
+            )
     return rows
 
 
@@ -106,34 +120,35 @@ def main(argv=None) -> int:
         return 2
 
     print(
-        "%-8s %14s %14s %9s %14s %7s  %s"
-        % ("swarm", "base idx e/s", "fresh idx e/s", "machine",
+        "%-8s %-8s %12s %12s %9s %12s %7s  %s"
+        % ("swarm", "path", "base e/s", "fresh e/s", "machine",
            "normalised", "ratio", "verdict")
     )
     regressed = []
     for row in rows:
         print(
-            "%-8s %14.1f %14.1f %8.2fx %14.1f %6.2fx  %s"
+            "%-8s %-8s %12.1f %12.1f %8.2fx %12.1f %6.2fx  %s"
             % (
                 row["swarm"],
-                row["baseline_indexed_eps"],
-                row["fresh_indexed_eps"],
+                row["label"],
+                row["baseline_eps"],
+                row["fresh_eps"],
                 row["machine_factor"],
-                row["normalised_indexed_eps"],
+                row["normalised_eps"],
                 row["ratio"],
                 "REGRESSED" if row["regressed"] else "ok",
             )
         )
         if row["regressed"]:
-            regressed.append(row["swarm"])
+            regressed.append("%s/%s" % (row["swarm"], row["label"]))
     if regressed:
         print(
-            "indexed-picker path regressed > %.0f%% on: %s"
+            "engine hot path regressed > %.0f%% on: %s"
             % (args.tolerance * 100.0, ", ".join(regressed)),
             file=sys.stderr,
         )
         return 1
-    print("indexed-picker path within %.0f%% of baseline" % (args.tolerance * 100.0))
+    print("engine hot paths within %.0f%% of baseline" % (args.tolerance * 100.0))
     return 0
 
 

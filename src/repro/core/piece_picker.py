@@ -50,7 +50,71 @@ from repro.core.rarest_first import PieceSelector, RandomSelector
 from repro.protocol.bitfield import Bitfield
 from repro.protocol.metainfo import BlockRef, PieceGeometry
 
+try:  # numpy is optional; the matrix backend is gated on it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
 PeerKey = Hashable
+
+# Sentinel larger than any real copy count, used to mask out ineligible
+# pieces in the vectorized rarest-first selection.
+_COUNT_SENTINEL = 2**31 - 1
+
+
+def _unpacked_bits(bitfield: Bitfield):
+    """A bitfield's pieces as a 0/1 uint8 vector (numpy only)."""
+    return _np.unpackbits(
+        _np.frombuffer(bitfield.to_bytes(), dtype=_np.uint8),
+        count=bitfield.num_pieces,
+    )
+
+
+class AvailabilityMatrix:
+    """Swarm-shared availability counts: one int32 row per online peer.
+
+    Each matrix-backed :class:`PiecePicker` owns one row (its *slot*) and
+    reads/writes it through this object — never through a cached view,
+    because the backing array is reallocated when the matrix grows.  The
+    payoff is at the swarm layer: a completed piece's HAVE flood updates
+    every receiver's availability with a single fancy-indexed increment
+    (:meth:`increment`) instead of per-receiver python bookkeeping, and
+    whole-bitfield accounting on connection open/close is one vector add
+    per peer instead of one call per piece.
+    """
+
+    def __init__(self, num_pieces: int, capacity: int = 64):
+        if _np is None:
+            raise RuntimeError("AvailabilityMatrix requires numpy")
+        if capacity < 1:
+            capacity = 1
+        self.num_pieces = num_pieces
+        self.data = _np.zeros((capacity, num_pieces), dtype=_np.int32)
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+
+    def acquire(self) -> int:
+        """Claim a zeroed row; the matrix doubles when full."""
+        if not self._free:
+            old = self.data
+            grown = _np.zeros((old.shape[0] * 2, self.num_pieces), old.dtype)
+            grown[: old.shape[0]] = old
+            self.data = grown
+            self._free = list(
+                range(grown.shape[0] - 1, old.shape[0] - 1, -1)
+            )
+        slot = self._free.pop()
+        self.data[slot].fill(0)
+        return slot
+
+    def release(self, slot: int) -> None:
+        self.data[slot].fill(0)
+        self._free.append(slot)
+
+    def increment(self, slots: List[int], piece: int) -> None:
+        """``data[slot, piece] += 1`` for every (unique) slot at once."""
+        self.data[slots, piece] += 1
 
 
 class RarityIndex:
@@ -167,6 +231,8 @@ class PiecePicker:
         strict_priority: bool = True,
         endgame_enabled: bool = True,
         use_rarity_index: bool = True,
+        matrix: Optional[AvailabilityMatrix] = None,
+        matrix_slot: Optional[int] = None,
     ):
         self._geometry = geometry
         self._bitfield = bitfield
@@ -176,10 +242,25 @@ class PiecePicker:
         self._random_first_threshold = random_first_threshold
         self._strict_priority = strict_priority
         self._endgame_enabled = endgame_enabled
-        self._availability = [0] * geometry.num_pieces
         self._active: Dict[int, _PartialPiece] = {}
         self._endgame = False
-        self._use_index = use_rarity_index
+        # Availability backend: "matrix" (swarm-shared numpy rows, the
+        # mega-swarm fast path), "index" (per-picker rarity buckets) or
+        # "naive" (flat list + full scans).  All three consume the RNG
+        # identically and yield the same selections.
+        if matrix is not None:
+            if matrix_slot is None:
+                matrix_slot = matrix.acquire()
+            self._backend = "matrix"
+        elif use_rarity_index:
+            self._backend = "index"
+        else:
+            self._backend = "naive"
+        self._matrix = matrix
+        self._slot = matrix_slot
+        self._availability = (
+            [0] * geometry.num_pieces if matrix is None else None
+        )
         # Active partials that still hold unrequested blocks; with the
         # active-piece and missing-piece counts this makes the end-game
         # trigger test O(1) instead of O(missing pieces).
@@ -187,12 +268,27 @@ class PiecePicker:
         # The bitfield's piece set is mutated in place for the picker's
         # whole lifetime, so one membership view can be cached up front.
         self._local_have = bitfield.have_set
-        if use_rarity_index:
+        if self._backend == "index":
             self._all_index = RarityIndex(range(geometry.num_pieces))
             self._wanted_index = RarityIndex(bitfield.missing_indices())
         else:
             self._all_index = None
             self._wanted_index = None
+        if self._backend == "matrix":
+            # Wanted = missing and not yet started; availability plays no
+            # part in maintaining it, so it is a plain boolean mask.  The
+            # same mask is mirrored as one big integer in the
+            # ``Bitfield.as_int`` bit order (piece 0 at the MSB): testing
+            # whether a remote offers *anything* wanted is then a single
+            # C-speed AND against ``remote_bitfield.as_int()``, which
+            # short-circuits the vectorized selection's common miss case.
+            self._wanted_mask = _unpacked_bits(bitfield) == 0
+            self._wanted_top = len(bitfield.to_bytes()) * 8 - 1
+            self._wanted_int = int.from_bytes(
+                _np.packbits(self._wanted_mask).tobytes(), "big"
+            )
+        else:
+            self._wanted_mask = None
 
     # ------------------------------------------------------------------
     # availability accounting
@@ -201,6 +297,8 @@ class PiecePicker:
     @property
     def availability(self) -> Sequence[int]:
         """Copies of each piece in the local peer set (read-only view)."""
+        if self._backend == "matrix":
+            return tuple(self._matrix.data[self._slot].tolist())
         return tuple(self._availability)
 
     @property
@@ -209,30 +307,79 @@ class PiecePicker:
 
     @property
     def uses_rarity_index(self) -> bool:
-        return self._use_index
+        return self._backend != "naive"
+
+    @property
+    def availability_backend(self) -> str:
+        return self._backend
+
+    @property
+    def matrix_slot(self) -> Optional[int]:
+        """This picker's row in the swarm availability matrix, or None."""
+        return self._slot
+
+    def detach_matrix(self) -> None:
+        """Release the matrix row (peer cleanly departed).  Idempotent; any
+        later availability access fails loudly rather than corrupting the
+        slot's next owner.  Only call when the counts are zero (a clean
+        leave decrements per closed connection); a *crashed* peer keeps its
+        row so a rejoin sees the same stale counts the list backend would.
+        """
+        if self._matrix is not None and self._slot is not None:
+            self._matrix.release(self._slot)
+        self._matrix = None
+        self._slot = None
+
+    def attach_matrix(self, matrix: "AvailabilityMatrix") -> None:
+        """Re-acquire a (zeroed) matrix row after :meth:`detach_matrix`,
+        for a peer rejoining the swarm.  No-op while still attached."""
+        if self._backend != "matrix":
+            raise RuntimeError(
+                "attach_matrix on a %r-backend picker" % (self._backend,)
+            )
+        if self._matrix is not None:
+            return
+        self._matrix = matrix
+        self._slot = matrix.acquire()
 
     @property
     def in_endgame(self) -> bool:
         return self._endgame
 
     def _availability_delta(self, piece: int, delta: int) -> None:
+        if self._backend == "matrix":
+            row = self._matrix.data[self._slot]
+            new_count = int(row[piece]) + delta
+            if new_count < 0:
+                raise RuntimeError("negative availability for piece %d" % piece)
+            row[piece] = new_count
+            return
         old_count = self._availability[piece]
         new_count = old_count + delta
         if new_count < 0:
             raise RuntimeError("negative availability for piece %d" % piece)
         self._availability[piece] = new_count
-        if self._use_index:
+        if self._backend == "index":
             self._all_index.move(piece, old_count, new_count)
             if piece not in self._local_have and piece not in self._active:
                 self._wanted_index.move(piece, old_count, new_count)
 
     def peer_joined(self, remote_bitfield: Bitfield) -> None:
         """Account a new peer's full bitfield."""
+        if self._backend == "matrix":
+            self._matrix.data[self._slot] += _unpacked_bits(remote_bitfield)
+            return
         for piece in remote_bitfield.have_indices():
             self._availability_delta(piece, +1)
 
     def peer_left(self, remote_bitfield: Bitfield) -> None:
         """Remove a departed peer's contribution to the counts."""
+        if self._backend == "matrix":
+            row = self._matrix.data[self._slot]
+            row -= _unpacked_bits(remote_bitfield)
+            if row.min() < 0:
+                raise RuntimeError("negative availability after peer left")
+            return
         for piece in remote_bitfield.have_indices():
             self._availability_delta(piece, -1)
 
@@ -246,7 +393,11 @@ class PiecePicker:
         Computed over every piece of the torrent, as in §II-A ("the pieces
         that have the least number of copies in the peer set").
         """
-        if self._use_index:
+        if self._backend == "matrix":
+            counts = self._matrix.data[self._slot]
+            rarest_count = int(counts.min())
+            return rarest_count, _np.nonzero(counts == rarest_count)[0].tolist()
+        if self._backend == "index":
             return self._all_index.rarest()
         rarest_count = min(self._availability)
         pieces = [
@@ -269,12 +420,30 @@ class PiecePicker:
         caller is responsible for pipelining (calling repeatedly until the
         pipeline is full or ``None`` is returned).
         """
-        block = self._strict_priority_block(remote_bitfield, peer_key)
-        if block is not None:
-            return block
-        block = self._start_new_piece(remote_bitfield, peer_key)
-        if block is not None:
-            return block
+        if self._open_partials:
+            # When no active piece has an unrequested block left the
+            # strict-priority scan cannot yield anything; skip it.
+            block = self._strict_priority_block(remote_bitfield, peer_key)
+            if block is not None:
+                return block
+        if (
+            self._backend == "matrix"
+            and self._strict_priority
+            and self._selector.uses_rarity_index
+            and self._bitfield._count >= self._random_first_threshold
+        ):
+            # Flattened miss path: when nothing wanted intersects the
+            # remote's pieces no new piece can start (the same exact test
+            # _select_from_matrix would reach three calls deeper), which
+            # is the overwhelmingly common outcome on a busy link.
+            if self._wanted_int & remote_bitfield.as_int():
+                block = self._start_new_piece(remote_bitfield, peer_key)
+                if block is not None:
+                    return block
+        else:
+            block = self._start_new_piece(remote_bitfield, peer_key)
+            if block is not None:
+                return block
         if self._endgame_enabled and self._all_blocks_requested():
             self._endgame = True
             return self._endgame_block(remote_bitfield, peer_key)
@@ -299,11 +468,13 @@ class PiecePicker:
         """First unrequested block of an already-started piece the remote has."""
         if not self._strict_priority:
             return None
+        remote_bits = remote_bitfield._bits
         for piece, partial in self._active.items():
-            if not partial.unrequested or not remote_bitfield.has(piece):
-                continue
-            block_index = self._pop_block(partial, peer_key)
-            return partial.blocks[block_index]
+            if partial.unrequested and remote_bits[piece >> 3] & (
+                0x80 >> (piece & 7)
+            ):
+                block_index = self._pop_block(partial, peer_key)
+                return partial.blocks[block_index]
         return None
 
     def _start_new_piece(
@@ -319,18 +490,24 @@ class PiecePicker:
         partial = _PartialPiece(blocks=self._geometry.blocks(piece))
         self._active[piece] = partial
         self._open_partials += 1
-        if self._use_index:
+        if self._backend == "index":
             self._wanted_index.remove(piece, self._availability[piece])
+        elif self._backend == "matrix":
+            self._wanted_mask[piece] = False
+            self._wanted_int &= ~(1 << (self._wanted_top - piece))
         block_index = self._pop_block(partial, peer_key)
         return partial.blocks[block_index]
 
     def _select_new_piece(self, remote_bitfield: Bitfield) -> Optional[int]:
         """Pick the next piece to start, or None when nothing is startable."""
         random_first = self._bitfield.count < self._random_first_threshold
-        if self._use_index and not random_first and self._selector.uses_rarity_index:
-            return self._selector.select_indexed(
-                self._wanted_index, remote_bitfield, self._rng
-            )
+        if not random_first and self._selector.uses_rarity_index:
+            if self._backend == "index":
+                return self._selector.select_indexed(
+                    self._wanted_index, remote_bitfield, self._rng
+                )
+            if self._backend == "matrix":
+                return self._select_from_matrix(remote_bitfield)
         candidates = [
             piece
             for piece in self._bitfield.pieces_only_in(remote_bitfield)
@@ -339,7 +516,31 @@ class PiecePicker:
         if not candidates:
             return None
         selector = self._random_selector if random_first else self._selector
-        return selector.select(candidates, self._availability, self._rng)
+        availability = (
+            self._matrix.data[self._slot]
+            if self._backend == "matrix"
+            else self._availability
+        )
+        return selector.select(candidates, availability, self._rng)
+
+    def _select_from_matrix(self, remote_bitfield: Bitfield) -> Optional[int]:
+        """Vectorized rarest-first over wanted pieces the remote offers.
+
+        RNG-identical to ``RarestFirstSelector.select_indexed``: both draw
+        one ``rng.choice`` over the ascending list of eligible pieces in
+        the rarest occupied bucket, and neither draws when nothing is
+        eligible.
+        """
+        # Common miss case first, at big-int speed: nothing wanted that
+        # the remote offers means no selection and — crucially — no RNG
+        # draw, so the short-circuit is trace-exact.
+        if not self._wanted_int & remote_bitfield.as_int():
+            return None
+        eligible = self._wanted_mask & (_unpacked_bits(remote_bitfield) != 0)
+        counts = self._matrix.data[self._slot]
+        masked = _np.where(eligible, counts, _COUNT_SENTINEL)
+        ties = _np.flatnonzero(masked == masked.min()).tolist()
+        return self._rng.choice(ties)
 
     def _any_active_block(
         self, remote_bitfield: Bitfield, peer_key: PeerKey
@@ -353,7 +554,7 @@ class PiecePicker:
 
     def _all_blocks_requested(self) -> bool:
         """True when every missing block is either received or in flight."""
-        if self._use_index:
+        if self._backend != "naive":
             # Active pieces are exactly the started missing pieces; when
             # every missing piece is active and none of them has an
             # unrequested block left, everything is received or in flight.
@@ -417,8 +618,11 @@ class PiecePicker:
             self._open_partials -= 1
         was_wanted = partial is None and not self._bitfield.has(piece)
         self._bitfield.clear(piece)
-        if self._use_index and not was_wanted:
+        if self._backend == "index" and not was_wanted:
             self._wanted_index.add(piece, self._availability[piece])
+        elif self._backend == "matrix":
+            self._wanted_mask[piece] = True
+            self._wanted_int |= 1 << (self._wanted_top - piece)
         # The whole piece is unrequested again, so "every missing block is
         # received or in flight" no longer holds; next_request re-enters
         # end game once that is true again.
@@ -446,8 +650,11 @@ class PiecePicker:
             partial = self._active.pop(piece)
             if partial.unrequested:
                 self._open_partials -= 1
-            if self._use_index:
+            if self._backend == "index":
                 self._wanted_index.add(piece, self._availability[piece])
+            elif self._backend == "matrix":
+                self._wanted_mask[piece] = True
+                self._wanted_int |= 1 << (self._wanted_top - piece)
         if released:
             # Some blocks are unrequested again: end game is over until
             # next_request finds everything in flight once more.

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from typing import AbstractSet, Iterable, Iterator
 
+try:  # optional: only used to parse incoming bitfields faster
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
 
 class Bitfield:
     """Mutable fixed-size bitmap over ``num_pieces`` pieces.
@@ -63,11 +68,20 @@ class Bitfield:
         spare = expected * 8 - num_pieces
         if spare and data and data[-1] & ((1 << spare) - 1):
             raise ValueError("spare bits in final bitfield byte are not zero")
-        field._have = {
-            index
-            for index in range(num_pieces)
-            if field._bits[index >> 3] & (0x80 >> (index & 7))
-        }
+        if _np is not None:
+            field._have = set(
+                _np.flatnonzero(
+                    _np.unpackbits(
+                        _np.frombuffer(data, dtype=_np.uint8), count=num_pieces
+                    )
+                ).tolist()
+            )
+        else:
+            field._have = {
+                index
+                for index in range(num_pieces)
+                if field._bits[index >> 3] & (0x80 >> (index & 7))
+            }
         field._count = len(field._have)
         return field
 
@@ -154,6 +168,15 @@ class Bitfield:
             if not self._bits[index >> 3] & (0x80 >> (index & 7)):
                 yield index
 
+    def as_int(self) -> int:
+        """The bits as one big-endian integer (piece 0 at the most
+        significant end, spare padding bits zero): a cheap basis for
+        whole-bitfield boolean algebra at C speed.  ``a.as_int() &
+        ~b.as_int()`` is nonzero exactly when ``a`` holds a piece ``b``
+        misses — the complement's infinite high ones and the padding
+        positions never intersect a valid bitfield's finite bits."""
+        return int.from_bytes(self._bits, "big")
+
     def interesting_in(self, other: "Bitfield") -> bool:
         """True when *other* holds at least one piece this bitfield misses.
 
@@ -162,9 +185,7 @@ class Bitfield:
         """
         if other._num_pieces != self._num_pieces:
             raise ValueError("bitfields cover different torrents")
-        theirs = int.from_bytes(other._bits, "big")
-        ours = int.from_bytes(self._bits, "big")
-        return bool(theirs & ~ours)
+        return bool(int.from_bytes(other._bits, "big") & ~int.from_bytes(self._bits, "big"))
 
     def pieces_only_in(self, other: "Bitfield") -> Iterator[int]:
         """Indices held by *other* but missing here."""

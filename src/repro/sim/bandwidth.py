@@ -12,15 +12,36 @@ transfers, computed by progressive filling:
    saturate freezes all flows through it;
 3. repeat with the remaining capacity until every flow is frozen.
 
-The implementation below runs one progressive-filling pass per simulation
-tick over the currently active flows, with per-node degree counters so
-each pass costs O(iterations x (nodes + flows)).
+Two implementations share this module:
+
+* :func:`max_min_allocation` — the pure-python reference.  One
+  progressive-filling pass per simulation tick over the active flows,
+  with per-node degree counters so each pass costs
+  O(iterations x (nodes + flows)).
+* :func:`max_min_allocation_numpy` — the vectorized path used by large
+  swarms.  Same rounds, same arithmetic: each round computes the
+  bottleneck share with one elementwise divide + reduction, grows every
+  live flow, and charges each node ``increment * live_degree`` exactly
+  as the reference does, so the two paths produce **bit-identical**
+  rates (every operation is the same IEEE-754 double operation applied
+  in an order-insensitive reduction or elementwise).
+
+:func:`resolve_allocator` maps a config string to one of the two (or the
+fast approximate :func:`upload_fair_allocation`), falling back to the
+reference when numpy is unavailable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping
+from typing import Callable, Dict, Hashable, List, Mapping
+
+try:  # numpy is an optional dependency; every caller must tolerate None
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
 
 NodeId = Hashable
 
@@ -119,13 +140,16 @@ def max_min_allocation(
                     live[index] = False
             break
         increment = bottleneck_share
-        # Grow every unfrozen flow and charge its constrained endpoints.
+        # Grow every unfrozen flow and charge each node once for all the
+        # live flows through it.  The per-node multiply (instead of one
+        # subtraction per flow) is what the vectorized path computes, so
+        # both paths see bit-identical residuals.
         for index, flow in enumerate(flows):
-            if not live[index]:
-                continue
-            flow.rate += increment
-            for key in flow_nodes[index]:
-                residual[key] -= increment
+            if live[index]:
+                flow.rate += increment
+        for key, node_degree in degree.items():
+            if node_degree:
+                residual[key] -= increment * node_degree
         # Freeze flows through saturated nodes.
         froze_any = False
         for key in residual:
@@ -141,6 +165,103 @@ def max_min_allocation(
             # Numerical corner: nothing saturated despite a finite share.
             # Freeze everything at current rates to guarantee termination.
             break
+
+
+def max_min_allocation_numpy(
+    flows: List[Flow],
+    upload_capacity: Mapping[NodeId, float],
+    download_capacity: Mapping[NodeId, float],
+    epsilon: float = 1e-9,
+) -> None:
+    """Vectorized progressive filling; bit-identical to the reference.
+
+    Unconstrained directions are modelled as infinite-capacity nodes:
+    their fair share is always ``inf``, so they never become the
+    bottleneck and never saturate — exactly the reference's behaviour of
+    leaving them out of the residual map.  When *every* live flow is
+    unconstrained on both sides the bottleneck share itself is ``inf``
+    and the flows are frozen at infinite rate, mirroring the reference's
+    ``bottleneck_share is None`` branch.
+    """
+    if _np is None:  # pragma: no cover - callers gate on HAVE_NUMPY
+        raise RuntimeError("numpy is not available; use max_min_allocation")
+    num_flows = len(flows)
+    for flow in flows:
+        flow.rate = 0.0
+    if not flows:
+        return
+
+    inf = float("inf")
+    # Node tables: one slot per distinct constrained endpoint, plus a
+    # shared "unconstrained" slot 0 with infinite capacity.
+    node_index: Dict[tuple, int] = {}
+    capacities: List[float] = [inf]
+    flow_up = _np.zeros(num_flows, dtype=_np.intp)
+    flow_down = _np.zeros(num_flows, dtype=_np.intp)
+    live = _np.zeros(num_flows, dtype=bool)
+
+    for index, flow in enumerate(flows):
+        up_cap = upload_capacity.get(flow.uploader)
+        down_cap = download_capacity.get(flow.downloader)
+        if (up_cap is not None and up_cap <= epsilon) or (
+            down_cap is not None and down_cap <= epsilon
+        ):
+            continue  # dead flow: rate stays 0, never live
+        live[index] = True
+        if up_cap is not None:
+            key = ("up", flow.uploader)
+            slot = node_index.get(key)
+            if slot is None:
+                slot = node_index[key] = len(capacities)
+                capacities.append(up_cap)
+            flow_up[index] = slot
+        if down_cap is not None:
+            key = ("down", flow.downloader)
+            slot = node_index.get(key)
+            if slot is None:
+                slot = node_index[key] = len(capacities)
+                capacities.append(down_cap)
+            flow_down[index] = slot
+
+    if not live.any():
+        return
+
+    num_nodes = len(capacities)
+    residual = _np.array(capacities, dtype=_np.float64)
+    rates = _np.zeros(num_flows, dtype=_np.float64)
+
+    def live_degree():
+        return _np.bincount(
+            flow_up[live], minlength=num_nodes
+        ) + _np.bincount(flow_down[live], minlength=num_nodes)
+
+    degree = live_degree()
+    degree[0] = 0  # the unconstrained slot never constrains anything
+
+    while live.any():
+        active_nodes = degree > 0
+        if not active_nodes.any():
+            rates[live] = inf
+            break
+        shares = residual[active_nodes] / degree[active_nodes]
+        increment = float(shares.min())
+        if increment == inf:
+            # Only infinite-capacity nodes remain: the reference's
+            # "bottleneck_share is None" branch.
+            rates[live] = inf
+            break
+        rates[live] += increment
+        residual[active_nodes] -= increment * degree[active_nodes]
+        saturated = (residual <= epsilon) & active_nodes
+        newly_frozen = live & (saturated[flow_up] | saturated[flow_down])
+        if not newly_frozen.any():
+            break  # numerical corner, as in the reference
+        live &= ~newly_frozen
+        degree = live_degree()
+        degree[0] = 0
+
+    for index, flow in enumerate(flows):
+        flow.rate = float(rates[index])
 
 
 def upload_fair_allocation(
@@ -176,6 +297,37 @@ def upload_fair_allocation(
         total = inbound[flow.downloader]
         if total > cap > 0:
             flow.rate *= cap / total
+
+
+Allocator = Callable[[List[Flow], Mapping, Mapping], None]
+
+_ALLOCATORS: Dict[str, Allocator] = {
+    "reference": max_min_allocation,
+    "numpy": max_min_allocation_numpy,
+    "upload-fair": upload_fair_allocation,
+}
+
+
+def resolve_allocator(name: str = "auto") -> Allocator:
+    """Map an allocator config string to its implementation.
+
+    ``"auto"`` (the default) selects the vectorized max–min path when
+    numpy is importable and the reference otherwise — safe because the
+    two are bit-identical.  ``"numpy"`` demands the vectorized path and
+    raises without numpy; ``"reference"`` and ``"upload-fair"`` name the
+    other implementations explicitly.
+    """
+    if name == "auto":
+        return max_min_allocation_numpy if HAVE_NUMPY else max_min_allocation
+    if name == "numpy" and not HAVE_NUMPY:
+        raise RuntimeError("allocator 'numpy' requested but numpy is not installed")
+    try:
+        return _ALLOCATORS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown allocator %r (expected auto/reference/numpy/upload-fair)"
+            % (name,)
+        )
 
 
 def allocation_summary(flows: List[Flow]) -> Dict[NodeId, float]:

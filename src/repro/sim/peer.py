@@ -85,6 +85,14 @@ class Peer:
             initial_bitfield.copy() if initial_bitfield else Bitfield(num_pieces)
         )
         self.selector = selector or RarestFirstSelector()
+        # Swarm-shared availability matrix (mega-swarm fast path): the
+        # picker owns one row of it.  Peers that opt out of the rarity
+        # index keep the naive reference path for differential testing.
+        matrix = (
+            getattr(swarm, "availability_matrix", None)
+            if config.use_rarity_index
+            else None
+        )
         self.picker = PiecePicker(
             metainfo.geometry,
             self.bitfield,
@@ -94,6 +102,7 @@ class Peer:
             strict_priority=config.strict_priority,
             endgame_enabled=config.endgame_enabled,
             use_rarity_index=config.use_rarity_index,
+            matrix=matrix,
         )
         self.leecher_choker = leecher_choker or LeecherChoker(
             optimistic_rounds=config.optimistic_rounds
@@ -165,6 +174,12 @@ class Peer:
         the choke-round and tracker-announce timers."""
         if self.online:
             raise RuntimeError("%s already joined" % self.address)
+        if (
+            self.picker.availability_backend == "matrix"
+            and self.picker.matrix_slot is None
+        ):
+            # Rejoining after a clean leave: re-acquire a zeroed row.
+            self.picker.attach_matrix(self.swarm.availability_matrix)
         self.online = True
         self.joined_at = self.simulator.now
         self._materialize = self.swarm.config.verify_piece_hashes
@@ -208,6 +223,12 @@ class Peer:
             self._close_connection(connection, notify_remote=True)
         self._announce(event="stopped", num_want=0)
         self.swarm.on_peer_left(self)
+        if self.picker.availability_backend == "matrix":
+            # Every count was decremented as its connection closed above,
+            # so the row is zero: releasing it is lossless.  A crash skips
+            # this (and the per-connection decrements), keeping the stale
+            # counts a rejoining peer would also see on the list backend.
+            self.picker.detach_matrix()
 
     def crash(self) -> None:
         """Abrupt failure: no ``stopped`` announce, no FIN to remotes.
@@ -482,24 +503,15 @@ class Peer:
         connection.last_message_at = self.simulator.now
         if self.observer:
             self.observer.on_message_received(self.simulator.now, connection, message)
-        if isinstance(message, BitfieldMessage):
-            self._handle_bitfield(connection, message)
-        elif isinstance(message, Have):
-            self._handle_have(connection, message)
-        elif isinstance(message, Interested):
-            connection.peer_interested = True
-        elif isinstance(message, NotInterested):
-            connection.peer_interested = False
-        elif isinstance(message, Choke):
-            self._handle_choke(connection)
-        elif isinstance(message, Unchoke):
-            self._handle_unchoke(connection)
-        elif isinstance(message, Request):
-            self._handle_request(connection, message)
-        elif isinstance(message, Cancel):
-            self._handle_cancel(connection, message)
-        elif isinstance(message, Piece):
-            self._handle_piece(connection, message)
+        handler = _DISPATCH.get(type(message))
+        if handler is not None:
+            handler(self, connection, message)
+
+    def _handle_interested(self, connection: Connection, message: Message) -> None:
+        connection.peer_interested = True
+
+    def _handle_not_interested(self, connection: Connection, message: Message) -> None:
+        connection.peer_interested = False
 
     # -- piece-knowledge messages -----------------------------------------
 
@@ -530,9 +542,132 @@ class Peer:
         if not connection.peer_choking and connection.am_interested:
             self._fill_pipeline(connection)
 
+    def broadcast_have_fused(self, message: Have) -> None:
+        """The HAVE flood, fused: one loop doing exactly what per-link
+        ``_send`` + ``_receive`` + ``_handle_have`` + the sender's
+        interest recheck do, with the per-message costs hoisted out.
+
+        This is the dominant cost of a large swarm (every completed piece
+        touches every neighbour), so the loop body inlines the hot path —
+        the same checks in the same order as the reference functions,
+        with three deliberate strength reductions that are observably
+        identical:
+
+        * the receiver's ``remote_bitfield.set`` is inlined with the
+          byte index and mask precomputed once per broadcast;
+        * a matrix-backed receiver's availability increment writes the
+          matrix cell directly (``remote_has`` in matrix mode is exactly
+          that one-cell add);
+        * the sender's interest recheck runs only on links whose remote
+          holds the completed piece.  Completing a piece can only shrink
+          the interesting set, and only by that piece: a link whose
+          remote lacks it keeps a non-empty interesting set, so the
+          recheck it skips would have been a no-op.
+
+        Only valid under the fused-fan-out preconditions (synchronous,
+        lossless delivery): ``_send``'s latency/fault branches are
+        elided, not reimplemented.
+        """
+        piece = message.piece
+        now = self.simulator.now
+        byte_index = piece >> 3
+        bit_mask = 0x80 >> (piece & 7)
+        # Sender-side interest recheck support, hoisted: the complement
+        # of our bits, our piece count and whether we are (still) a
+        # leecher — all constant across the loop, own state only changes
+        # afterwards.
+        not_ours = ~self.bitfield.as_int()
+        own_count = self.bitfield.count
+        sender_is_seed = self.is_seed
+        observer = self.observer
+        seed_state = PeerState.SEED
+        # Pair-emit capability, hoisted: when sender and receiver are
+        # both observed into the same binary recorder, one call packs
+        # the sent+received record pair, bypassing two observer hook
+        # invocations per delivery (the bulk of --trace-all overhead).
+        pair_emit = None
+        shared_recorder = None
+        sender_addr = self.address
+        if observer is not None:
+            shared_recorder = getattr(observer, "recorder", None)
+            if shared_recorder is not None:
+                pair_emit = getattr(shared_recorder, "emit_have_pair", None)
+        for connection in list(self.connections.values()):
+            if not connection.closed:
+                twin = connection.twin
+                twin_open = twin is not None and not twin.closed
+                if twin_open:
+                    receiver = connection.remote
+                    receiver_observer = receiver.observer
+                else:
+                    receiver = receiver_observer = None
+                if (
+                    pair_emit is not None
+                    and receiver_observer is not None
+                    and getattr(receiver_observer, "recorder", None)
+                    is shared_recorder
+                ):
+                    pair_emit(now, sender_addr, receiver.address, piece)
+                else:
+                    if observer:
+                        observer.on_message_sent(now, connection, message)
+                    if receiver_observer is not None:
+                        receiver_observer.on_message_received(now, twin, message)
+                if twin_open:
+                    # -- inlined receiver side (_receive + _handle_have) --
+                    # ``last_message_at`` is deliberately not refreshed: its
+                    # only reader is the fault sweep, and a fault plan
+                    # disables the fused path entirely.
+                    remote_view = twin.remote_bitfield
+                    bits = remote_view._bits
+                    if not bits[byte_index] & bit_mask:
+                        bits[byte_index] |= bit_mask
+                        remote_view._count += 1
+                        picker = receiver.picker
+                        slot = picker._slot
+                        if slot is not None:
+                            # Matrix-attached receivers never read a remote
+                            # view's ``have_set`` mirror (all matrix-mode
+                            # accounting is bit-level), so skip maintaining
+                            # it — at swarm scale those set.add calls are a
+                            # measurable slice of the flood.
+                            picker._matrix.data[slot, piece] += 1
+                        else:
+                            remote_view._have.add(piece)
+                            picker.remote_has(piece)
+                    if (
+                        receiver.super_seeding
+                        and receiver._active_reveal.get(self.address) == piece
+                    ):
+                        del receiver._active_reveal[self.address]
+                        receiver._reveal_next(twin)
+                    if not twin.am_interested:
+                        if receiver.state is not seed_state and not (
+                            receiver.bitfield._bits[byte_index] & bit_mask
+                        ):
+                            twin.am_interested = True
+                            receiver._send(twin, Interested())
+                    if not twin.peer_choking and twin.am_interested:
+                        receiver._fill_pipeline(twin)
+            # -- sender-side interest recheck (the reference loop's tail).
+            # A remote holding MORE pieces than we do necessarily holds
+            # one we miss, so interest survives and the full bitfield
+            # comparison is skipped (count prefilter, exact).
+            if connection.am_interested:
+                remote_bits = connection.remote_bitfield
+                if sender_is_seed:
+                    connection.am_interested = False
+                    self._send(connection, NotInterested())
+                elif remote_bits._count <= own_count and (
+                    remote_bits._bits[byte_index] & bit_mask
+                ):
+                    if not (remote_bits.as_int() & not_ours):
+                        connection.am_interested = False
+                        self._send(connection, NotInterested())
+
     # -- choke messages ------------------------------------------------------
 
-    def _handle_choke(self, connection: Connection) -> None:
+    def _handle_choke(self, connection: Connection, message: Message = None) -> None:
         connection.peer_choking = True
         # Everything in flight on this link is lost; give the blocks back
         # to the picker so another peer can serve them.
@@ -540,7 +675,7 @@ class Peer:
         connection.outstanding.clear()
         connection.request_times.clear()
 
-    def _handle_unchoke(self, connection: Connection) -> None:
+    def _handle_unchoke(self, connection: Connection, message: Message = None) -> None:
         connection.peer_choking = False
         if connection.am_interested:
             self._fill_pipeline(connection)
@@ -637,12 +772,17 @@ class Peer:
         if self.observer:
             self.observer.on_piece_completed(now, piece)
         have = Have(piece=piece)
-        for connection in list(self.connections.values()):
-            self._send(connection, have)
-            # Completing a piece can only *remove* interest; skip the
-            # bitfield scan for remotes we were not interested in anyway.
-            if connection.am_interested:
-                self._update_interest(connection)
+        # The HAVE flood is the dominant cost of a large swarm; the swarm
+        # takes over the fan-out when it can batch the availability
+        # updates (synchronous lossless delivery), falling back to the
+        # observably-identical per-link loop otherwise.
+        if not self.swarm.broadcast_have(self, have):
+            for connection in list(self.connections.values()):
+                self._send(connection, have)
+                # Completing a piece can only *remove* interest; skip the
+                # bitfield scan for remotes we were not interested in anyway.
+                if connection.am_interested:
+                    self._update_interest(connection)
         self.swarm.on_piece_replicated(self, piece)
         if self.bitfield.is_complete():
             self._become_seed()
@@ -670,19 +810,22 @@ class Peer:
 
     def _fill_pipeline(self, connection: Connection) -> None:
         """Keep a small buffer of pending requests on this link (§II-C.1)."""
+        depth = self.config.request_pipeline_depth
+        next_request = self.picker.next_request
+        remote_bitfield = connection.remote_bitfield
+        remote_key = connection.remote_key
+        now = self.simulator.now  # no sim time passes within one fill
         while (
             not connection.closed
             and connection.am_interested
             and not connection.peer_choking
-            and len(connection.outstanding) < self.config.request_pipeline_depth
+            and len(connection.outstanding) < depth
         ):
-            block = self.picker.next_request(
-                connection.remote_bitfield, connection.remote_key
-            )
+            block = next_request(remote_bitfield, remote_key)
             if block is None:
                 break
             connection.outstanding.add(block)
-            connection.request_times[block] = self.simulator.now
+            connection.request_times[block] = now
             self._send(
                 connection,
                 Request(piece=block.piece, offset=block.offset, length=block.length),
@@ -726,8 +869,15 @@ class Peer:
         now = self.simulator.now
         candidates: List[ChokeCandidate] = []
         for connection in self.connections.values():
-            download_rate = connection.downloaded.rate(now)
-            upload_rate = connection.uploaded.rate(now)
+            # Inlined ByteCounter.rate: one estimator expiry + divide,
+            # without the two-deep call chain, twice per connection per
+            # round across the whole swarm.
+            estimator = connection.downloaded._estimator
+            estimator._expire(now)
+            download_rate = max(0.0, estimator._total) / estimator._window
+            estimator = connection.uploaded._estimator
+            estimator._expire(now)
+            upload_rate = max(0.0, estimator._total) / estimator._window
             if self.observer:
                 self.observer.on_rate_sample(
                     now, connection, download_rate, upload_rate
@@ -860,3 +1010,19 @@ class Peer:
             self._departure_handle = self.simulator.schedule(
                 self.config.seeding_time, self.leave
             )
+
+
+# Message dispatch for Peer._receive: one dict probe on the concrete
+# message class instead of an isinstance chain (message classes are
+# final — nothing subclasses them).
+_DISPATCH = {
+    BitfieldMessage: Peer._handle_bitfield,
+    Have: Peer._handle_have,
+    Interested: Peer._handle_interested,
+    NotInterested: Peer._handle_not_interested,
+    Choke: Peer._handle_choke,
+    Unchoke: Peer._handle_unchoke,
+    Request: Peer._handle_request,
+    Cancel: Peer._handle_cancel,
+    Piece: Peer._handle_piece,
+}

@@ -13,10 +13,12 @@ from random import Random
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.choke import Choker
+from repro.core.piece_picker import AvailabilityMatrix, HAVE_NUMPY
 from repro.core.rarest_first import PieceSelector
 from repro.protocol.bitfield import Bitfield
+from repro.protocol.messages import Have
 from repro.protocol.metainfo import Metainfo
-from repro.sim.bandwidth import Flow, max_min_allocation, upload_fair_allocation
+from repro.sim.bandwidth import Flow, resolve_allocator
 from repro.sim.config import PeerConfig, SwarmConfig
 from repro.sim.connection import Connection
 from repro.sim.engine import Simulator, Timer
@@ -80,7 +82,23 @@ class Swarm:
     def __init__(self, metainfo: Metainfo, config: Optional[SwarmConfig] = None):
         self.metainfo = metainfo
         self.config = config or SwarmConfig()
-        self.simulator = Simulator()
+        extra = self.config.extra
+        self.simulator = Simulator(
+            queue=extra.get("event_queue", "heap"),
+            bucket_width=float(extra.get("bucket_width", 0.25)),
+        )
+        # Bandwidth allocator selection.  The legacy "bandwidth_model"
+        # knob is honoured; otherwise "allocator" picks reference/numpy
+        # max-min explicitly, defaulting to "auto" (numpy when available
+        # — safe because the two paths are bit-identical).
+        allocator = extra.get("allocator")
+        if allocator is None:
+            allocator = (
+                "upload-fair"
+                if extra.get("bandwidth_model") == "upload-fair"
+                else "auto"
+            )
+        self._allocate = resolve_allocator(allocator)
         self.rng = Random(self.config.seed)
         self.tracker = Tracker(
             Random(self.rng.getrandbits(64)), lambda: self.simulator.now
@@ -99,8 +117,11 @@ class Swarm:
         self._flow_cache: List[Flow] = []
         self._upload_caps: Dict[str, float] = {}
         self._download_caps: Dict[str, float] = {}
-        # Global piece-replication oracle over ONLINE peers.
+        # Global piece-replication oracle over ONLINE peers, with an
+        # incremental count of pieces replicated fewer than twice so the
+        # first-full-copy test is O(1) per completion, not O(pieces).
         self.global_counts: List[int] = [0] * metainfo.geometry.num_pieces
+        self._scarce_pieces = metainfo.geometry.num_pieces
         self._tick_timer = Timer(
             self.simulator,
             self.config.tick_interval,
@@ -126,6 +147,32 @@ class Swarm:
                 self.simulator.schedule(
                     self.config.faults.crash_interval, self._crash_sweep
                 )
+        # Shared availability matrix: one int32 row per online peer, so a
+        # completed piece's HAVE flood becomes a single vectorized
+        # increment over the receivers' rows instead of per-peer python
+        # bookkeeping.  "auto" enables it when numpy is importable; the
+        # per-peer picker path it replaces is RNG- and trace-identical.
+        backend = extra.get("availability_backend", "auto")
+        if backend == "matrix" and not HAVE_NUMPY:
+            raise RuntimeError(
+                "availability_backend 'matrix' requested but numpy is missing"
+            )
+        use_matrix = backend == "matrix" or (backend == "auto" and HAVE_NUMPY)
+        if backend not in ("auto", "matrix", "index", "list"):
+            raise ValueError("unknown availability_backend %r" % (backend,))
+        self.availability_matrix: Optional[AvailabilityMatrix] = (
+            AvailabilityMatrix(metainfo.geometry.num_pieces)
+            if use_matrix
+            else None
+        )
+        # Batched HAVE fan-out is only observably identical to per-link
+        # sends when delivery is synchronous and lossless: any latency or
+        # fault plan forces the reference path.
+        self._batched_have = (
+            extra.get("have_fanout", "auto") != "unbatched"
+            and self.config.message_latency == 0
+            and self.faults is None
+        )
 
     # ------------------------------------------------------------------
     # population management
@@ -186,7 +233,10 @@ class Swarm:
     def join_peer(self, peer: Peer) -> None:
         """Bring a created-but-offline peer online."""
         for piece in peer.bitfield.have_indices():
-            self.global_counts[piece] += 1
+            count = self.global_counts[piece] + 1
+            self.global_counts[piece] = count
+            if count == 2:
+                self._scarce_pieces -= 1
         self.result.join_times[peer.address] = self.simulator.now
         peer.join()
 
@@ -209,11 +259,11 @@ class Swarm:
     # ------------------------------------------------------------------
 
     def on_piece_replicated(self, peer: Peer, piece: int) -> None:
-        self.global_counts[piece] += 1
-        if (
-            self.result.first_full_copy_at is None
-            and min(self.global_counts) >= 2
-        ):
+        count = self.global_counts[piece] + 1
+        self.global_counts[piece] = count
+        if count == 2:
+            self._scarce_pieces -= 1
+        if self._scarce_pieces == 0 and self.result.first_full_copy_at is None:
             self.result.first_full_copy_at = self.simulator.now
 
     def on_peer_completed(self, peer: Peer) -> None:
@@ -221,13 +271,25 @@ class Swarm:
 
     def on_peer_left(self, peer: Peer) -> None:
         for piece in peer.bitfield.have_indices():
-            self.global_counts[piece] -= 1
+            count = self.global_counts[piece] - 1
+            self.global_counts[piece] = count
+            if count == 1:
+                self._scarce_pieces += 1
         self.result.departures[peer.address] = self.simulator.now
         self.result.bytes_uploaded[peer.address] = peer.total_uploaded
         self.result.bytes_downloaded[peer.address] = peer.total_downloaded
         self.peers.pop(peer.address, None)
-        self._upload_caps.pop(peer.address, None)
-        self._download_caps.pop(peer.address, None)
+        # The capacity maps feed the cached bandwidth allocation, so
+        # removing an entry must invalidate the cache: a surviving
+        # uploader can still hold an active flow towards a *crashed*
+        # peer (the half-open link serves into the void until reaped),
+        # and its cached rate was computed with the dead peer's download
+        # cap.  Without the generation bump that stale rate would persist
+        # until some unrelated membership change.
+        removed_upload = self._upload_caps.pop(peer.address, None)
+        removed_download = self._download_caps.pop(peer.address, None)
+        if removed_upload is not None or removed_download is not None:
+            self._members_generation += 1
 
     def on_peer_crashed(self, peer: Peer) -> None:
         """An abrupt (fault-injected) departure: same swarm bookkeeping
@@ -269,6 +331,23 @@ class Swarm:
         """Register an analysis callback invoked after every fluid tick."""
         self._on_tick_callbacks.append(callback)
 
+    # ------------------------------------------------------------------
+    # batched HAVE fan-out
+    # ------------------------------------------------------------------
+
+    def broadcast_have(self, peer: Peer, message: Have) -> bool:
+        """Fan a completed piece's HAVE out to every neighbour of *peer*
+        through the fused fast loop (:meth:`Peer.broadcast_have_fused`).
+
+        Returns False when the fast path is ineligible (message latency
+        or a fault plan make delivery asynchronous/lossy) and the caller
+        must run the reference per-link ``_send`` loop instead.
+        """
+        if not self._batched_have:
+            return False
+        peer.broadcast_have_fused(message)
+        return True
+
     def _tick(self) -> None:
         for connection in [
             connection
@@ -292,12 +371,7 @@ class Swarm:
                     Flow(connection.local.address, connection.remote.address)
                     for connection in active
                 ]
-                if self.config.extra.get("bandwidth_model") == "upload-fair":
-                    upload_fair_allocation(
-                        flows, self._upload_caps, self._download_caps
-                    )
-                else:
-                    max_min_allocation(flows, self._upload_caps, self._download_caps)
+                self._allocate(flows, self._upload_caps, self._download_caps)
                 self._active_connections = active
                 self._flow_cache = flows
                 self._flows_generation = self._members_generation

@@ -146,19 +146,17 @@ class TestFlowFastPath:
     """The per-tick allocation cache: ticks whose active flow set did not
     change reuse the previous rates instead of re-running the allocator."""
 
-    def test_allocation_skipped_on_unchanged_flow_set(self, monkeypatch):
-        import repro.sim.swarm as swarm_module
-
+    def test_allocation_skipped_on_unchanged_flow_set(self):
         calls = []
-        original = swarm_module.max_min_allocation
+        config = SwarmConfig(seed=5, tick_interval=1.0)
+        swarm = tiny_swarm(num_pieces=32, swarm_config=config)
+        original = swarm._allocate
 
         def counting(*args, **kwargs):
             calls.append(1)
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(swarm_module, "max_min_allocation", counting)
-        config = SwarmConfig(seed=5, tick_interval=1.0)
-        swarm = tiny_swarm(num_pieces=32, swarm_config=config)
+        swarm._allocate = counting
         swarm.add_peer(config=fast_config(upload=2 * KIB), is_seed=True)
         swarm.add_peer(config=fast_config(upload=2 * KIB))
         ticks = []
