@@ -32,6 +32,14 @@ recorded — against the untraced fast run (the harsh denominator) and
 against the indexed reference run, the same denominator the pre-binary
 "~88% JSONL overhead" figure used (budget there: <= 25%).
 
+A ``streaming`` tier re-runs the medium swarm as a streaming workload:
+every peer carries the playback model and picks pieces through the
+sequential-window selector, whose playback-position binding puts
+time-dependent state on the selection hot path.  It measures the same
+naive/indexed/fast differential as the other tiers and asserts trace
+equivalence (plus identical playback outcomes), gating the fast
+engine's non-rarest selector dispatch at benchmark scale.
+
 An ``xlarge`` mega-swarm tier (1000 leechers + 1 seed) runs the fast
 configuration only — the reference path would take tens of minutes —
 once on the binary-heap event queue and once on the calendar
@@ -78,6 +86,7 @@ from repro.instrumentation import (
     TracingObserver,
     binary_to_jsonl,
 )
+from repro.core.rarest_first import make_selector
 from repro.protocol.metainfo import make_metainfo
 from repro.sim.config import KIB, PeerConfig, SwarmConfig
 from repro.sim.swarm import Swarm
@@ -102,6 +111,14 @@ SWARMS = {
 # this scale is asserted by running it on both event-queue
 # implementations and comparing final piece sets.
 XLARGE = dict(leechers=1000, pieces=2048, sim_seconds=90.0)
+# The streaming tier: the medium swarm re-run as a streaming workload —
+# every leecher consumes in order through the windowed selector while
+# playback-position bindings put time-dependent state on the selection
+# hot path.  Same naive/indexed/fast differential as the other tiers,
+# so the fast-path dispatch for non-rarest selectors stays gated.
+STREAMING = dict(leechers=30, pieces=1024, sim_seconds=450.0)
+STREAMING_SELECTOR = "seq-window:window=32"
+STREAMING_RATE = 24.0 * KIB
 QUICK_SCALE = 0.25  # --quick shrinks the simulated window, not the swarm
 
 # Pins every mega-swarm fast path off: the pre-PR hot path, kept
@@ -133,6 +150,8 @@ def build_swarm(
     use_rarity_index: bool,
     observer_factory=None,
     extra=None,
+    selector_spec=None,
+    playback_rate=None,
 ) -> Swarm:
     metainfo = make_metainfo(
         "throughput-%dp" % pieces,
@@ -145,17 +164,28 @@ def build_swarm(
     rng = Random(seed)
 
     def peer_config() -> PeerConfig:
+        kwargs = {}
+        if playback_rate is not None:
+            kwargs["playback_rate"] = playback_rate
         return PeerConfig(
             upload_capacity=rng.choice([32, 64, 96, 128]) * KIB,
             use_rarity_index=use_rarity_index,
+            **kwargs,
         )
 
-    swarm.add_peer(config=peer_config(), is_seed=True)
+    def peer_kwargs():
+        # Fresh selector per peer: streaming strategies carry per-peer
+        # playback-position bindings and must never be shared.
+        if selector_spec is None:
+            return {}
+        return {"selector": make_selector(selector_spec)}
+
+    swarm.add_peer(config=peer_config(), is_seed=True, **peer_kwargs())
     # Staggered arrivals spread the availability distribution across
     # many copy counts, the regime the rarity buckets are built for.
     for index in range(leechers):
         delay = rng.uniform(0.0, 60.0)
-        swarm.schedule_arrival(delay, config=peer_config())
+        swarm.schedule_arrival(delay, config=peer_config(), **peer_kwargs())
     return swarm
 
 
@@ -183,6 +213,8 @@ def run_once(
     trace: str = "off",
     trace_format: str = "jsonl",
     extra=None,
+    selector_spec=None,
+    playback_rate=None,
 ) -> dict:
     """One timed swarm run.  ``trace`` selects the tracing configuration:
     ``"off"``, ``"local"`` (one observed peer, the paper's methodology and
@@ -204,7 +236,10 @@ def run_once(
         else:
             observers = iter([TracingObserver(recorder)])
             factory = lambda: next(observers, None)
-    swarm = build_swarm(leechers, pieces, seed, use_rarity_index, factory, extra)
+    swarm = build_swarm(
+        leechers, pieces, seed, use_rarity_index, factory, extra,
+        selector_spec=selector_spec, playback_rate=playback_rate,
+    )
     started = time.perf_counter()
     result = swarm.run(sim_seconds)
     wall = time.perf_counter() - started
@@ -218,6 +253,18 @@ def run_once(
         "completion_trace": sorted(result.completions.items()),
         "fingerprint": swarm_fingerprint(swarm),
     }
+    if playback_rate is not None:
+        states = [
+            peer.playback
+            for peer in swarm.peers.values()
+            if peer.playback is not None
+        ]
+        row["playback_started"] = sum(
+            1 for state in states if state.started_at is not None
+        )
+        row["in_order_pieces_total"] = sum(
+            state.in_order_pieces for state in states
+        )
     if recorder is not None:
         row["trace_events"] = recorder.events_emitted
         recorder.close()
@@ -414,6 +461,78 @@ def run_suite(quick: bool, seed: int) -> dict:
     return report
 
 
+def run_streaming_suite(quick: bool, seed: int) -> dict:
+    """The streaming tier: naive/indexed/fast differential with the
+    sequential-window selector and the playback model on every peer.
+
+    Playback-position bindings make selection depend on simulated time,
+    the regime the streaming strategies add to the hot path; the three
+    engine paths must still execute the identical event sequence, so
+    ``traces_match`` here gates the non-rarest fast-engine dispatch
+    (matrix backend falling back to the candidate scan) at benchmark
+    scale.
+    """
+    sim_seconds = STREAMING["sim_seconds"] * (QUICK_SCALE if quick else 1.0)
+    section = {
+        "peers": STREAMING["leechers"] + 1,
+        "pieces": STREAMING["pieces"],
+        "sim_seconds": sim_seconds,
+        "selector": STREAMING_SELECTOR,
+        "playback_rate": STREAMING_RATE,
+    }
+    configs = (
+        ("naive", False, REFERENCE_EXTRA),
+        ("indexed", True, REFERENCE_EXTRA),
+        ("fast", True, FAST_EXTRA),
+    )
+    for label, use_index, extra in configs:
+        section[label] = run_once(
+            STREAMING["leechers"], STREAMING["pieces"], sim_seconds, seed,
+            use_index, extra=extra,
+            selector_spec=STREAMING_SELECTOR, playback_rate=STREAMING_RATE,
+        )
+        print(
+            "%-9s %-8s wall=%7.2fs  events/s=%10.1f  blocks=%d  "
+            "playing=%d  in_order=%d"
+            % (
+                "streaming",
+                label,
+                section[label]["wall_seconds"],
+                section[label]["events_per_second"],
+                section[label]["blocks_moved"],
+                section[label]["playback_started"],
+                section[label]["in_order_pieces_total"],
+            )
+        )
+    reference_trace = section["naive"].pop("completion_trace")
+    section["traces_match"] = all(
+        section[label].pop("completion_trace") == reference_trace
+        and section[label]["fingerprint"] == section["naive"]["fingerprint"]
+        and section[label]["playback_started"]
+        == section["naive"]["playback_started"]
+        and section[label]["in_order_pieces_total"]
+        == section["naive"]["in_order_pieces_total"]
+        for label in ("indexed", "fast")
+    )
+    section["speedup_indexed_over_naive"] = round(
+        section["naive"]["wall_seconds"] / section["indexed"]["wall_seconds"], 2
+    )
+    section["speedup_fast_over_indexed"] = round(
+        section["indexed"]["wall_seconds"] / section["fast"]["wall_seconds"], 2
+    )
+    print(
+        "%-9s speedup: indexed/naive=%.2fx  fast/indexed=%.2fx  "
+        "traces_match=%s"
+        % (
+            "streaming",
+            section["speedup_indexed_over_naive"],
+            section["speedup_fast_over_indexed"],
+            section["traces_match"],
+        )
+    )
+    return section
+
+
 def run_xlarge_suite(quick: bool, seed: int) -> dict:
     """The 1000-leecher mega-swarm tier, fast configuration only.
 
@@ -544,6 +663,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     report = run_suite(args.quick, args.seed)
+    report["swarms"]["streaming"] = run_streaming_suite(args.quick, args.seed)
     if not args.skip_xlarge:
         report["swarms"]["xlarge"] = run_xlarge_suite(args.quick, args.seed)
     report["campaign"] = run_campaign_suite(args.quick, args.seed)

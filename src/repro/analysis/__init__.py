@@ -10,7 +10,9 @@ Each module maps to one group of figures:
   interarrival CDFs);
 * :mod:`repro.analysis.fairness` — figures 9, 10, 11 (contribution sets,
   unchoke/interest correlation, seed service uniformity);
-* :mod:`repro.analysis.stats` — shared percentile/CDF helpers.
+* :mod:`repro.analysis.stats` — shared percentile/CDF helpers;
+* :mod:`repro.analysis.streaming` — playback metrics (startup delay,
+  rebuffering, in-order lag) for streaming workloads.
 """
 
 from repro.analysis.entropy import EntropySummary, entropy_ratios, summarize_entropy
@@ -24,18 +26,22 @@ from repro.analysis.interarrival import InterarrivalSummary, interarrival_summar
 from repro.analysis.peerset import peer_set_series
 from repro.analysis.replication import rarest_set_series, replication_series
 from repro.analysis.stats import cdf, pearson, percentile
+from repro.analysis.streaming import PlaybackSummary, in_order_lag, playback_summary
 
 __all__ = [
     "EntropySummary",
     "InterarrivalSummary",
+    "PlaybackSummary",
     "UnchokeCorrelation",
     "cdf",
     "entropy_ratios",
+    "in_order_lag",
     "interarrival_summary",
     "leecher_contribution",
     "pearson",
     "peer_set_series",
     "percentile",
+    "playback_summary",
     "rarest_set_series",
     "replication_series",
     "seed_contribution",

@@ -1,0 +1,95 @@
+"""Streaming/playback metrics from an instrumented peer.
+
+For on-demand streaming workloads (``PeerConfig.playback_rate`` set)
+the interesting quantities are no longer the paper's download-completion
+figures but the viewer-facing ones: how long until playback starts, how
+often and for how long it rebuffers, and how far the in-order delivered
+prefix trails the raw download.  :func:`playback_summary` folds the
+playback series an :class:`~repro.instrumentation.logger.Instrumentation`
+records (live or replayed — the two are byte-identical) into one
+comparable summary per peer, and :func:`in_order_lag` quantifies the
+cost of out-of-order piece selection directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.instrumentation.logger import Instrumentation
+
+
+@dataclass
+class PlaybackSummary:
+    """Viewer-facing metrics of one peer's playback session."""
+
+    startup_delay: Optional[float]
+    """Seconds from join to playback start; None if it never started."""
+
+    started_at: Optional[float]
+    finished_at: Optional[float]
+
+    rebuffer_count: int
+    """Stall events after playback started."""
+
+    rebuffer_seconds: float
+    """Total time spent stalled (closed stall windows only)."""
+
+    stalled_at_end: bool
+    """True when the run stopped inside an open stall window."""
+
+    in_order_pieces: int
+    """Contiguous delivered prefix (pieces) at the last progress event."""
+
+    in_order_bytes: int
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def play_time(self) -> Optional[float]:
+        """Start-to-finish wall time, rebuffering included."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+def playback_summary(instrumentation: Instrumentation) -> PlaybackSummary:
+    """Fold the recorded playback series into a :class:`PlaybackSummary`.
+
+    Raises :class:`ValueError` when the peer recorded no playback events
+    at all (playback was not configured for it).
+    """
+    if not instrumentation.playback_events:
+        raise ValueError("no playback events recorded (playback_rate unset?)")
+    pieces = 0
+    total_bytes = 0
+    if instrumentation.in_order_history:
+        __, pieces, total_bytes = instrumentation.in_order_history[-1]
+    intervals = instrumentation.rebuffer_intervals
+    return PlaybackSummary(
+        startup_delay=instrumentation.playback_startup_delay,
+        started_at=instrumentation.playback_started_at,
+        finished_at=instrumentation.playback_finished_at,
+        rebuffer_count=instrumentation.rebuffer_count,
+        rebuffer_seconds=instrumentation.rebuffer_seconds,
+        stalled_at_end=bool(intervals) and intervals[-1][1] is None,
+        in_order_pieces=pieces,
+        in_order_bytes=total_bytes,
+    )
+
+
+def in_order_lag(instrumentation: Instrumentation) -> List[Tuple[float, int]]:
+    """``(time, downloaded pieces - in-order pieces)`` at each in-order
+    advance: how many completed pieces sit above the first gap.  Zero
+    everywhere for a perfectly sequential download; persistently large
+    values are the streaming cost of rarity-driven selection."""
+    completions = [time for time, __ in instrumentation.piece_completions]
+    lag: List[Tuple[float, int]] = []
+    downloaded = 0
+    for time, pieces, __ in instrumentation.in_order_history:
+        while downloaded < len(completions) and completions[downloaded] <= time:
+            downloaded += 1
+        lag.append((time, downloaded - pieces))
+    return lag

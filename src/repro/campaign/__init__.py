@@ -18,6 +18,7 @@ from repro.campaign.aggregate import (
     mean_download_times,
     render_campaign_table,
     render_manifest_table,
+    render_streaming_table,
 )
 from repro.campaign.cache import CACHE_SCHEMA_VERSION, ShardCache, shard_cache_key
 from repro.campaign.runner import (
@@ -64,6 +65,7 @@ __all__ = [
     "parse_torrent_ids",
     "render_campaign_table",
     "render_manifest_table",
+    "render_streaming_table",
     "run_shard_payload",
     "shard_cache_key",
 ]

@@ -121,6 +121,24 @@ def execute_shard(
             faults=FAULT_PRESETS[shard.faults],
         )
 
+    # Piece-selection / streaming overrides.  A shard without them calls
+    # build_experiment with the exact historical arguments, so baseline
+    # traces (and their fingerprints) are unchanged.
+    strategy_kwargs: Dict = {}
+    if shard.selector is not None:
+        from repro.core.rarest_first import make_selector
+
+        spec = shard.selector
+        strategy_kwargs["local_selector"] = make_selector(spec)
+        strategy_kwargs["population_selector_factory"] = (
+            lambda: make_selector(spec)
+        )
+    if shard.playback_rate is not None:
+        strategy_kwargs["playback_rate"] = shard.playback_rate
+        strategy_kwargs["playback_startup_pieces"] = (
+            shard.playback_startup_pieces
+        )
+
     trace_tmp = cache.trace_tmp_path(key) if cache is not None else None
     recorder = TraceRecorder(str(trace_tmp) if trace_tmp is not None else None)
     started = time.perf_counter()
@@ -131,6 +149,7 @@ def execute_shard(
             block_size=shard.block_size,
             swarm_config=swarm_config,
             trace_recorder=recorder,
+            **strategy_kwargs,
         )
         instrumentation = harness.run()
     except BaseException:
@@ -163,6 +182,18 @@ def execute_shard(
             "trace_fingerprint": fingerprint,
         },
     }
+    if shard.playback_rate is not None and instrumentation.playback_events:
+        from repro.analysis.streaming import playback_summary
+
+        playback = playback_summary(instrumentation)
+        record["summary"]["playback"] = {
+            "startup_delay": playback.startup_delay,
+            "rebuffer_count": playback.rebuffer_count,
+            "rebuffer_seconds": playback.rebuffer_seconds,
+            "stalled_at_end": playback.stalled_at_end,
+            "finished_at": playback.finished_at,
+            "in_order_pieces": playback.in_order_pieces,
+        }
     record.update(shard.as_payload())
     if cache is not None:
         cache.store(key, record, trace_tmp=trace_tmp)

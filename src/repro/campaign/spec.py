@@ -46,16 +46,48 @@ class ScenarioVariant:
     faults: Optional[str] = None
     """Fault-injection preset name (``repro.sim.faults.FAULT_PRESETS``)."""
 
+    selector: Optional[str] = None
+    """Piece-selection strategy spec for every peer in the swarm
+    (:func:`repro.core.rarest_first.make_selector` syntax, e.g.
+    ``"seq-window:window=16"``).  None keeps the historical rarest-first
+    default and leaves the shard's trace byte-identical to pre-selector
+    campaigns."""
+
+    playback_rate: Optional[float] = None
+    """Streaming playback rate in bytes/second applied to the local peer
+    and every population leecher; None disables the playback model."""
+
+    playback_startup_pieces: Optional[int] = None
+    """Startup-buffer threshold (contiguous pieces) for streaming runs."""
+
 
 #: The scenario registry.  ``paper`` is the evaluation as published;
 #: ``smoke`` is the same swarm on a short window (CI and tests);
 #: the ``faults-*`` variants rerun the campaign under the PR-2 chaos
-#: presets, the sweep related work asks for.
+#: presets, the sweep related work asks for.  The ``streaming-*``
+#: variants run the same swarm as an on-demand streaming workload (all
+#: leechers play at 16 kB/s, under the 20 kB/s upload cap) and differ
+#: only in the piece-selection strategy, so comparing them isolates the
+#: selector's effect on startup delay and rebuffering.
+STREAMING_PLAYBACK_RATE = 16.0 * 1024
 SCENARIOS = {
     "paper": ScenarioVariant("paper"),
     "smoke": ScenarioVariant("smoke", duration=240.0),
     "faults-light": ScenarioVariant("faults-light", faults="light"),
     "faults-heavy": ScenarioVariant("faults-heavy", faults="heavy"),
+    "streaming-rarest": ScenarioVariant(
+        "streaming-rarest", playback_rate=STREAMING_PLAYBACK_RATE
+    ),
+    "streaming-seqwin": ScenarioVariant(
+        "streaming-seqwin",
+        selector="seq-window:window=16",
+        playback_rate=STREAMING_PLAYBACK_RATE,
+    ),
+    "streaming-pfs": ScenarioVariant(
+        "streaming-pfs",
+        selector="pfs:urgency=0.95,rarity_bias=1.0",
+        playback_rate=STREAMING_PLAYBACK_RATE,
+    ),
 }
 
 
@@ -85,14 +117,23 @@ class ShardSpec:
     duration: Optional[float] = None
     block_size: Optional[int] = None
     faults: Optional[str] = None
+    selector: Optional[str] = None
+    playback_rate: Optional[float] = None
+    playback_startup_pieces: Optional[int] = None
 
     @property
     def shard_id(self) -> str:
         return "t%02d-%s-r%d" % (self.torrent_id, self.scenario, self.replicate)
 
     def as_payload(self) -> dict:
-        """A picklable/JSON-safe dict from which the shard can be rebuilt."""
-        return {
+        """A picklable/JSON-safe dict from which the shard can be rebuilt.
+
+        The streaming/selector keys are only present when set: a shard
+        that uses neither serialises exactly as it did before they
+        existed, so cached results and cache keys of historical
+        campaigns stay valid.
+        """
+        payload = {
             "torrent_id": self.torrent_id,
             "scenario": self.scenario,
             "replicate": self.replicate,
@@ -101,6 +142,13 @@ class ShardSpec:
             "block_size": self.block_size,
             "faults": self.faults,
         }
+        if self.selector is not None:
+            payload["selector"] = self.selector
+        if self.playback_rate is not None:
+            payload["playback_rate"] = self.playback_rate
+        if self.playback_startup_pieces is not None:
+            payload["playback_startup_pieces"] = self.playback_startup_pieces
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ShardSpec":
@@ -112,6 +160,9 @@ class ShardSpec:
             duration=payload.get("duration"),
             block_size=payload.get("block_size"),
             faults=payload.get("faults"),
+            selector=payload.get("selector"),
+            playback_rate=payload.get("playback_rate"),
+            playback_startup_pieces=payload.get("playback_startup_pieces"),
         )
 
 
@@ -131,6 +182,8 @@ class CampaignSpec:
     campaign_seed: int = DEFAULT_CAMPAIGN_SEED
     duration: Optional[float] = None
     block_size: Optional[int] = None
+    selector: Optional[str] = None
+    playback_rate: Optional[float] = None
 
     def describe(self) -> dict:
         return {
@@ -141,6 +194,8 @@ class CampaignSpec:
             "campaign_seed": self.campaign_seed,
             "duration": self.duration,
             "block_size": self.block_size,
+            "selector": self.selector,
+            "playback_rate": self.playback_rate,
         }
 
 
@@ -154,7 +209,17 @@ def expand_spec(
     how the shards are later scheduled.  ``shard_filter`` keeps only
     shards whose :attr:`~ShardSpec.shard_id` matches the glob (or
     contains it as a substring), e.g. ``"t07-*"`` or ``"faults"``.
+
+    Selector specs are validated here (fail fast, before any worker is
+    spawned) against the registry in :mod:`repro.core.rarest_first`.
     """
+    from repro.core.rarest_first import parse_selector_spec
+
+    for selector_spec in {spec.selector} | {
+        SCENARIOS[name].selector for name in spec.scenarios if name in SCENARIOS
+    }:
+        if selector_spec is not None:
+            parse_selector_spec(selector_spec)
     shards: List[ShardSpec] = []
     for torrent_id in spec.torrent_ids:
         for scenario in spec.scenarios:
@@ -183,6 +248,17 @@ def expand_spec(
                         else variant.block_size
                     ),
                     faults=variant.faults,
+                    selector=(
+                        spec.selector
+                        if spec.selector is not None
+                        else variant.selector
+                    ),
+                    playback_rate=(
+                        spec.playback_rate
+                        if spec.playback_rate is not None
+                        else variant.playback_rate
+                    ),
+                    playback_startup_pieces=variant.playback_startup_pieces,
                 )
                 if shard_filter and not _matches(shard.shard_id, shard_filter):
                     continue

@@ -172,7 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--scenario", default="paper",
         help="comma-separated scenario variants: paper, smoke, "
-        "faults-light, faults-heavy",
+        "faults-light, faults-heavy, streaming-rarest, streaming-seqwin, "
+        "streaming-pfs",
+    )
+    campaign_run.add_argument(
+        "--selector", default=None, metavar="SPEC",
+        help="override every shard's piece-selection strategy "
+        "(see 'repro run --selector')",
+    )
+    campaign_run.add_argument(
+        "--playback-rate", type=float, default=None, metavar="BYTES_PER_S",
+        help="override every shard's streaming playback rate",
     )
     campaign_run.add_argument("--replicates", type=int, default=1)
     campaign_run.add_argument(
@@ -303,6 +313,22 @@ def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
         "--trace-all", action="store_true",
         help="trace every peer in the swarm, not just the local one",
     )
+    parser.add_argument(
+        "--selector", default=None, metavar="SPEC",
+        help="piece-selection strategy for every peer: rarest-first "
+        "(default), random, sequential, 'seq-window:window=16', "
+        "'pfs:urgency=0.95,rarity_bias=1.0'",
+    )
+    parser.add_argument(
+        "--playback-rate", type=float, default=None, metavar="BYTES_PER_S",
+        help="streaming workload: play the content in-order at this rate "
+        "on the local peer and every leecher, reporting startup delay "
+        "and rebuffer metrics",
+    )
+    parser.add_argument(
+        "--playback-startup-pieces", type=int, default=None, metavar="N",
+        help="contiguous pieces buffered before playback starts (default 2)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -371,12 +397,32 @@ def _build_harness(args: argparse.Namespace, trace_recorder=None):
             faults=FAULT_PRESETS[args.faults],
         )
         print("fault injection: %s preset" % args.faults, file=sys.stderr)
+    strategy_kwargs = {}
+    selector_spec = getattr(args, "selector", None)
+    if selector_spec:
+        from repro.core.rarest_first import make_selector
+
+        strategy_kwargs["local_selector"] = make_selector(selector_spec)
+        strategy_kwargs["population_selector_factory"] = (
+            lambda: make_selector(selector_spec)
+        )
+        print("piece selector: %s" % selector_spec, file=sys.stderr)
+    playback_rate = getattr(args, "playback_rate", None)
+    if playback_rate is not None:
+        strategy_kwargs["playback_rate"] = playback_rate
+        strategy_kwargs["playback_startup_pieces"] = getattr(
+            args, "playback_startup_pieces", None
+        )
+        print(
+            "streaming playback: %.0f B/s" % playback_rate, file=sys.stderr
+        )
     return build_experiment(
         scenario,
         seed=args.seed,
         swarm_config=swarm_config,
         trace_recorder=trace_recorder,
         trace_all_peers=getattr(args, "trace_all", False),
+        **strategy_kwargs,
     )
 
 
@@ -409,6 +455,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             trace.messages_sent,
         )
     )
+    if trace.playback_events:
+        from repro.analysis.streaming import playback_summary
+
+        playback = playback_summary(trace)
+        print(
+            "playback: startup delay %s s, %d rebuffers (%.1f s stalled%s), "
+            "finished at t=%s"
+            % (
+                playback.startup_delay,
+                playback.rebuffer_count,
+                playback.rebuffer_seconds,
+                ", stalled at end" if playback.stalled_at_end else "",
+                playback.finished_at,
+            )
+        )
     if args.save:
         save_trace_summary(trace, args.save)
         print("trace saved to %s" % args.save)
@@ -563,6 +624,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         parse_torrent_ids,
         render_campaign_table,
         render_manifest_table,
+        render_streaming_table,
     )
 
     if args.campaign_command == "status":
@@ -588,6 +650,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         replicates=args.replicates,
         campaign_seed=args.campaign_seed,
         duration=args.duration,
+        selector=args.selector,
+        playback_rate=args.playback_rate,
     )
     runner = CampaignRunner(
         spec,
@@ -599,6 +663,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     result = runner.run(resume=args.resume, shard_filter=args.filter)
     table = render_campaign_table(list(result.records.values()))
+    streaming_table = render_streaming_table(list(result.records.values()))
+    if streaming_table:
+        table += "\n" + streaming_table
     summary_path = Path(args.cache_dir) / ("campaign_%s.txt" % spec.name)
     summary_path.write_text(table)
     if args.results_dir:

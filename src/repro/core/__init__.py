@@ -32,9 +32,13 @@ from repro.core.piece_picker import PiecePicker
 from repro.core.rarest_first import (
     GlobalRarestSelector,
     PieceSelector,
+    ProportionalFairSelector,
     RandomSelector,
     RarestFirstSelector,
+    SELECTOR_REGISTRY,
     SequentialSelector,
+    SequentialWindowSelector,
+    make_selector,
 )
 from repro.core.rate_estimator import RateEstimator
 
@@ -47,12 +51,16 @@ __all__ = [
     "OldSeedChoker",
     "PiecePicker",
     "PieceSelector",
+    "ProportionalFairSelector",
     "RandomSelector",
     "RarestFirstSelector",
     "RateEstimator",
+    "SELECTOR_REGISTRY",
     "SeedChoker",
     "SequentialSelector",
+    "SequentialWindowSelector",
     "TitForTatChoker",
     "leecher_fairness_violations",
+    "make_selector",
     "seed_service_uniformity",
 ]

@@ -429,13 +429,14 @@ class PiecePicker:
         if (
             self._backend == "matrix"
             and self._strict_priority
-            and self._selector.uses_rarity_index
             and self._bitfield._count >= self._random_first_threshold
         ):
             # Flattened miss path: when nothing wanted intersects the
-            # remote's pieces no new piece can start (the same exact test
-            # _select_from_matrix would reach three calls deeper), which
-            # is the overwhelmingly common outcome on a busy link.
+            # remote's pieces no new piece can start and no selector draws
+            # any randomness (the naive scan would build an empty candidate
+            # list; _select_from_matrix runs the same exact test three
+            # calls deeper), which is the overwhelmingly common outcome on
+            # a busy link.  Valid for every strategy, indexed or not.
             if self._wanted_int & remote_bitfield.as_int():
                 block = self._start_new_piece(remote_bitfield, peer_key)
                 if block is not None:
@@ -506,7 +507,12 @@ class PiecePicker:
                 return self._selector.select_indexed(
                     self._wanted_index, remote_bitfield, self._rng
                 )
-            if self._backend == "matrix":
+            if self._backend == "matrix" and self._selector.matrix_vectorized:
+                # Only rarest first may be replaced by the vectorized
+                # matrix kernel; any other indexed strategy must keep its
+                # own policy and falls through to the candidate scan over
+                # the matrix row (the indexed wanted buckets do not exist
+                # on this backend).
                 return self._select_from_matrix(remote_bitfield)
         candidates = [
             piece

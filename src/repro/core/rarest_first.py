@@ -16,14 +16,22 @@ Strategies provided:
 * :class:`SequentialSelector` — lowest index first (streaming-style; a
   worst case for diversity);
 * :class:`GlobalRarestSelector` — an oracle given *true* global
-  replication counts, the "global knowledge" upper bound discussed in §I.
+  replication counts, the "global knowledge" upper bound discussed in §I;
+* :class:`SequentialWindowSelector` — rarest first restricted to a
+  sliding window ahead of a playback position (streaming/VoD);
+* :class:`ProportionalFairSelector` — PFS/EPFS-style probabilistic
+  weighting between playback urgency and rarity (arXiv 1402.2187).
+
+Selectors are serializable by name via :func:`make_selector` (e.g.
+``"seq-window:window=16"``), which is how scenario configs, campaign
+shards and the CLI reach them.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from random import Random
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.piece_picker import RarityIndex
@@ -40,6 +48,14 @@ class PieceSelector(ABC):
     path over the picker's :class:`~repro.core.piece_picker.RarityIndex`.
     Strategies that leave this False always get the naive candidate-list
     scan."""
+
+    matrix_vectorized = False
+    """True only for strategies whose selection the picker may replace
+    with its vectorized availability-matrix rarest-first kernel
+    (``PiecePicker._select_from_matrix``).  Any other strategy on the
+    matrix backend falls back to the naive candidate scan over the
+    matrix row — dispatching every indexed selector to the rarest-first
+    kernel would silently change its policy."""
 
     @abstractmethod
     def select(
@@ -91,6 +107,7 @@ class RarestFirstSelector(PieceSelector):
     name = "rarest-first"
 
     uses_rarity_index = True
+    matrix_vectorized = True
 
     def select(
         self,
@@ -130,6 +147,8 @@ class RandomSelector(PieceSelector):
 
     name = "random"
 
+    uses_rarity_index = True
+
     def select(
         self,
         candidates: List[int],
@@ -138,11 +157,34 @@ class RandomSelector(PieceSelector):
     ) -> int:
         return rng.choice(candidates)
 
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """One draw over the union of all buckets the remote offers.
+
+        Sorting reproduces the ascending candidate list the naive scan
+        builds, so the single ``rng.choice`` lands on the same piece
+        with the same RNG consumption.
+        """
+        remote_have = remote_bitfield.have_set
+        candidates: List[int] = []
+        for __, bucket in wanted.ascending():
+            candidates.extend(bucket & remote_have)
+        if not candidates:
+            return None
+        candidates.sort()
+        return rng.choice(candidates)
+
 
 class SequentialSelector(PieceSelector):
     """Lowest-index-first selection (in-order / streaming)."""
 
     name = "sequential"
+
+    uses_rarity_index = True
 
     def select(
         self,
@@ -151,6 +193,24 @@ class SequentialSelector(PieceSelector):
         rng: Random,
     ) -> int:
         return min(candidates)
+
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """Minimum over every bucket∩remote; draws no randomness, like
+        :meth:`select`."""
+        remote_have = remote_bitfield.have_set
+        best: Optional[int] = None
+        for __, bucket in wanted.ascending():
+            eligible = bucket & remote_have
+            if eligible:
+                lowest = min(eligible)
+                if best is None or lowest < best:
+                    best = lowest
+        return best
 
 
 class GlobalRarestSelector(PieceSelector):
@@ -177,3 +237,248 @@ class GlobalRarestSelector(PieceSelector):
         rarest_count = min(counts[piece] for piece in candidates)
         rarest_set = [piece for piece in candidates if counts[piece] == rarest_count]
         return rng.choice(rarest_set)
+
+
+def _zero_position() -> int:
+    return 0
+
+
+class PlaybackAwareSelector(PieceSelector):
+    """Base for strategies that read a playback position.
+
+    The position source is a zero-argument callable returning the index
+    of the piece the player needs next.  A peer with playback enabled
+    binds its own playback state at construction
+    (:meth:`bind_position`); unbound, the position is pinned at 0 — the
+    selector then behaves as a pure from-the-start streaming policy.
+    """
+
+    def __init__(self) -> None:
+        self._position: Callable[[], int] = _zero_position
+
+    def bind_position(self, position: Callable[[], int]) -> None:
+        self._position = position
+
+
+class SequentialWindowSelector(PlaybackAwareSelector):
+    """Rarest first inside a sliding window ahead of the playback position.
+
+    Candidates inside ``[position, position + window)`` are preferred —
+    among them the rarest is picked (random tie-break), keeping some
+    diversity pressure where it matters for the swarm.  When the remote
+    offers nothing inside the window, selection degrades to plain
+    rarest first over the remaining candidates, so the strategy never
+    idles a link the way strict in-order selection does.
+    """
+
+    name = "seq-window"
+
+    uses_rarity_index = True
+
+    def __init__(self, window: int = 16):
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def __repr__(self) -> str:
+        return "SequentialWindowSelector(window=%d)" % self.window
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        start = self._position()
+        end = start + self.window
+        pool = [piece for piece in candidates if start <= piece < end] or candidates
+        rarest_count = min(int(availability[piece]) for piece in pool)
+        ties = [piece for piece in pool if availability[piece] == rarest_count]
+        return rng.choice(ties)
+
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """First ascending bucket with an in-window piece wins; otherwise
+        the rarest bucket overall.  Equivalent to :meth:`select`: the
+        window pool's minimum availability is exactly the first bucket
+        (in ascending count order) intersecting the window, and the
+        sorted tie set matches the naive scan's ascending candidates.
+        """
+        remote_have = remote_bitfield.have_set
+        start = self._position()
+        end = start + self.window
+        fallback: Optional[List[int]] = None
+        for __, bucket in wanted.ascending():
+            eligible = bucket & remote_have
+            if not eligible:
+                continue
+            windowed = sorted(p for p in eligible if start <= p < end)
+            if windowed:
+                return rng.choice(windowed)
+            if fallback is None:
+                fallback = sorted(eligible)
+        if fallback is None:
+            return None
+        return rng.choice(fallback)
+
+
+class ProportionalFairSelector(PlaybackAwareSelector):
+    """PFS/EPFS-style proportional-fair streaming selection.
+
+    Each candidate's probability weight trades playback urgency against
+    rarity: ``urgency ** distance / (1 + copies)``, where ``distance``
+    is how far the piece lies ahead of the playback position (pieces at
+    or behind the position are maximally urgent).  One uniform variate
+    picks from the cumulative distribution, so both code paths consume
+    exactly one ``rng.random()`` per selection.  This is the
+    proportional-fair scheduling family of BitTorrent VoD (arXiv
+    1402.2187; BUTorrent's PFS/EPFS choker).
+    """
+
+    name = "pfs"
+
+    uses_rarity_index = True
+
+    def __init__(self, urgency: float = 0.95, rarity_bias: float = 1.0):
+        super().__init__()
+        if not 0.0 < urgency <= 1.0:
+            raise ValueError("urgency must be in (0, 1]")
+        if rarity_bias < 0.0:
+            raise ValueError("rarity_bias must be >= 0")
+        self.urgency = urgency
+        self.rarity_bias = rarity_bias
+
+    def __repr__(self) -> str:
+        return "ProportionalFairSelector(urgency=%g, rarity_bias=%g)" % (
+            self.urgency,
+            self.rarity_bias,
+        )
+
+    def _weight(self, piece: int, copies: int, position: int) -> float:
+        distance = piece - position
+        if distance < 0:
+            distance = 0
+        return (self.urgency ** distance) * ((1.0 / (1 + copies)) ** self.rarity_bias)
+
+    def _pick(
+        self, candidates: List[int], weights: List[float], rng: Random
+    ) -> int:
+        total = 0.0
+        for weight in weights:
+            total += weight
+        remaining = rng.random() * total
+        for piece, weight in zip(candidates, weights):
+            remaining -= weight
+            if remaining <= 0.0:
+                return piece
+        return candidates[-1]
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> int:
+        position = self._position()
+        weights = [
+            self._weight(piece, int(availability[piece]), position)
+            for piece in candidates
+        ]
+        return self._pick(candidates, weights, rng)
+
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """Same cumulative draw over the same ascending candidate list.
+
+        The bucket walk recovers each candidate's copy count without
+        touching the flat availability array; sorting by piece restores
+        the naive scan's order so the weight accumulation produces
+        bit-identical floats and the single variate lands identically.
+        """
+        remote_have = remote_bitfield.have_set
+        pairs: List[tuple] = []
+        for count, bucket in wanted.ascending():
+            eligible = bucket & remote_have
+            if eligible:
+                pairs.extend((piece, count) for piece in eligible)
+        if not pairs:
+            return None
+        pairs.sort()
+        position = self._position()
+        candidates = [piece for piece, __ in pairs]
+        weights = [
+            self._weight(piece, count, position) for piece, count in pairs
+        ]
+        return self._pick(candidates, weights, rng)
+
+
+#: Serializable selector registry: every strategy constructible from a
+#: ``name`` plus keyword parameters.  ``GlobalRarestSelector`` is absent
+#: on purpose — it needs a live swarm oracle and stays programmatic.
+SELECTOR_REGISTRY: Dict[str, Callable[..., PieceSelector]] = {
+    RarestFirstSelector.name: RarestFirstSelector,
+    RandomSelector.name: RandomSelector,
+    SequentialSelector.name: SequentialSelector,
+    SequentialWindowSelector.name: SequentialWindowSelector,
+    ProportionalFairSelector.name: ProportionalFairSelector,
+}
+
+DEFAULT_SELECTOR_SPEC = RarestFirstSelector.name
+
+
+def parse_selector_spec(spec: str):
+    """Split ``"name"`` / ``"name:key=value,key=value"`` into parts.
+
+    Values parse as int, then float, then bare string.  Raises
+    ``ValueError`` for unknown names or malformed parameters — config
+    errors should fail at parse time, not mid-campaign.
+    """
+    name, __, params_text = spec.strip().partition(":")
+    name = name.strip()
+    if name not in SELECTOR_REGISTRY:
+        raise ValueError(
+            "unknown selector %r (have: %s)"
+            % (name, ", ".join(sorted(SELECTOR_REGISTRY)))
+        )
+    params = {}
+    if params_text:
+        for item in params_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ValueError("malformed selector parameter %r in %r" % (item, spec))
+            value = value.strip()
+            try:
+                parsed = int(value)
+            except ValueError:
+                try:
+                    parsed = float(value)
+                except ValueError:
+                    parsed = value
+            params[key.strip()] = parsed
+    return name, params
+
+
+def make_selector(spec: Optional[str]) -> Optional[PieceSelector]:
+    """Build a fresh selector instance from its serialized spec.
+
+    ``None``/empty means "the default" and returns ``None`` so callers
+    keep their historical rarest-first default untouched.  Each call
+    returns a *new* instance: playback-aware selectors carry per-peer
+    position bindings and must never be shared.
+    """
+    if spec is None or not spec.strip():
+        return None
+    name, params = parse_selector_spec(spec)
+    try:
+        return SELECTOR_REGISTRY[name](**params)
+    except TypeError as error:
+        raise ValueError("bad parameters for selector %r: %s" % (name, error))

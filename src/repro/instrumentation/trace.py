@@ -45,6 +45,12 @@ seconds), ``type`` and ``peer`` (the observed peer's address):
                when the link is still in the peer's connection table)
 ``hash_fail``  ``piece``
 ``fault``      ``kind`` (injected-fault counter key)
+``playback``   ``kind`` (``progress``/``start``/``stall``/``resume``/
+               ``finish``), ``data`` (in-order prefix + position, see
+               :meth:`~repro.sim.observer.PeerObserver.on_playback`) —
+               gated: never emitted unless the peer has
+               ``PeerConfig.playback_rate`` set, so non-streaming traces
+               are byte-identical to schema v1 files that predate it
 ``snapshot``   ``data``: every field of one
                :class:`~repro.instrumentation.logger.Snapshot`
 ``finalize``   ``joined_at``, ``became_seed_at``, ``open`` (as above)
@@ -450,6 +456,17 @@ class TracingObserver(PeerObserver):
     def on_fault(self, now: float, kind: str) -> None:
         self.recorder.emit(
             {"t": now, "type": "fault", "peer": self._addr, "kind": kind}
+        )
+
+    def on_playback(self, now: float, kind: str, data: dict) -> None:
+        self.recorder.emit(
+            {
+                "t": now,
+                "type": "playback",
+                "peer": self._addr,
+                "kind": kind,
+                "data": dict(data),
+            }
         )
 
     def on_snapshot(self, now: float, snapshot) -> None:

@@ -108,6 +108,21 @@ class Peer:
             optimistic_rounds=config.optimistic_rounds
         )
         self.seed_choker = seed_choker or SeedChoker(slots=config.unchoke_slots)
+        # Streaming playback model: only built when configured, so bulk
+        # runs carry no extra state, events or trace records.
+        if config.playback_rate is not None:
+            from repro.sim.playback import PlaybackState
+
+            self.playback: Optional[PlaybackState] = PlaybackState(
+                self, config.playback_rate, config.playback_startup_pieces
+            )
+        else:
+            self.playback = None
+        if self.playback is not None and hasattr(self.selector, "bind_position"):
+            # Playback-aware selectors read this peer's live playback
+            # position; selectors must therefore never be shared between
+            # peers (use a factory per peer).
+            self.selector.bind_position(self.playback.position_piece)
         self.state = (
             PeerState.SEED if self.bitfield.is_complete() else PeerState.LEECHER
         )
@@ -183,6 +198,8 @@ class Peer:
         self.online = True
         self.joined_at = self.simulator.now
         self._materialize = self.swarm.config.verify_piece_hashes
+        if self.playback is not None and not self.bitfield.is_complete():
+            self.playback.on_join(self.joined_at)
         self._announce(
             event="started",
             num_want=self.swarm.config.tracker_num_want,
@@ -771,6 +788,8 @@ class Peer:
                 return
         if self.observer:
             self.observer.on_piece_completed(now, piece)
+        if self.playback is not None:
+            self.playback.on_piece_completed(now, piece)
         have = Have(piece=piece)
         # The HAVE flood is the dominant cost of a large swarm; the swarm
         # takes over the fan-out when it can batch the availability

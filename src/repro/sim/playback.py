@@ -1,0 +1,201 @@
+"""Playback model for streaming/on-demand workloads.
+
+A peer with ``PeerConfig.playback_rate`` set runs a media player
+against its *in-order delivered bytes*: the contiguous prefix of pieces
+(from index 0) it has completed.  The player
+
+* buffers until ``playback_startup_pieces`` contiguous pieces are held,
+  then starts (the **startup delay** metric is that wait, measured from
+  join);
+* consumes ``playback_rate`` bytes of media per simulated second while
+  the buffer lasts;
+* **stalls** (a rebuffer event) the instant the playback position
+  catches up with the in-order prefix, and resumes on the next in-order
+  delivery — rebuffer count and total stall time are the paper-style
+  "where rarest first stops being enough" metrics;
+* **finishes** when the position reaches the end of the content.
+
+Everything is event-driven and deterministic: state only changes at
+piece completions and at exactly-computed stall/finish deadlines
+scheduled on the simulator, so runs replay byte-identically.  Stale
+deadlines (the buffer grew first) are invalidated by a generation
+counter, never by wall-clock comparisons.
+
+State transitions are reported through the peer observer's
+``on_playback`` hook, which the tracing layer serialises as gated
+``playback`` events — absent entirely (and the trace byte-identical)
+when no peer has playback configured.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.peer import Peer
+
+
+class PlaybackState:
+    """Deterministic media-player state machine for one peer."""
+
+    def __init__(self, peer: "Peer", rate: float, startup_pieces: int):
+        geometry = peer.metainfo.geometry
+        self.peer = peer
+        self.rate = float(rate)
+        self.num_pieces = geometry.num_pieces
+        self.piece_size = geometry.piece_size
+        self.total_bytes = geometry.total_size
+        self.startup_pieces = min(startup_pieces, geometry.num_pieces)
+        self.in_order_pieces = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.stalled = False
+        self.stall_started_at: Optional[float] = None
+        self.rebuffer_count = 0
+        self.rebuffer_seconds = 0.0
+        self.position_bytes = 0.0
+        self._played_until: Optional[float] = None
+        self._deadline_generation = 0
+        self._active = False
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def in_order_bytes(self) -> int:
+        """Bytes of the contiguous delivered prefix (media-consumable)."""
+        return min(self.in_order_pieces * self.piece_size, self.total_bytes)
+
+    def current_position(self, now: float) -> float:
+        """Playback offset in bytes at *now* (pure; no state change)."""
+        if self.started_at is None:
+            return 0.0
+        if self.stalled or self.finished_at is not None:
+            return self.position_bytes
+        elapsed = now - self._played_until
+        return min(
+            self.position_bytes + elapsed * self.rate, float(self.in_order_bytes)
+        )
+
+    def position_piece(self) -> int:
+        """The piece index the player needs next — the selectors' urgency
+        origin.  Reads the simulator clock so playback-aware selectors
+        always see the live position."""
+        position = self.current_position(self.peer.simulator.now)
+        piece = int(position // self.piece_size)
+        if piece >= self.num_pieces:
+            piece = self.num_pieces - 1
+        return piece
+
+    # ------------------------------------------------------------------
+    # event-driven transitions
+    # ------------------------------------------------------------------
+
+    def on_join(self, now: float) -> None:
+        """Account pieces held before joining; maybe start immediately."""
+        if self._active:
+            return
+        self._active = True
+        self._catch_up_in_order()
+        self._emit(now, "progress")
+        self._maybe_start(now)
+
+    def on_piece_completed(self, now: float, piece: int) -> None:
+        """A piece completed; advance the prefix and wake the player."""
+        if not self._active or self.finished_at is not None:
+            return
+        if piece != self.in_order_pieces:
+            return  # no in-order progress: the buffer frontier is unmoved
+        self._catch_up_in_order()
+        self._emit(now, "progress")
+        if self.started_at is None:
+            self._maybe_start(now)
+            return
+        if self.stalled:
+            duration = now - self.stall_started_at
+            self.rebuffer_seconds += duration
+            self.stalled = False
+            self.stall_started_at = None
+            self._played_until = now
+            self._emit(now, "resume", duration=duration)
+            self._schedule_deadline(now)
+        else:
+            # The buffer frontier moved: the previously computed stall
+            # deadline is stale, push it out.
+            self._schedule_deadline(now)
+
+    def _catch_up_in_order(self) -> None:
+        bitfield = self.peer.bitfield
+        index = self.in_order_pieces
+        while index < self.num_pieces and bitfield.has(index):
+            index += 1
+        self.in_order_pieces = index
+
+    def _maybe_start(self, now: float) -> None:
+        if self.started_at is not None:
+            return
+        if self.in_order_pieces < self.startup_pieces:
+            return
+        self.started_at = now
+        self._played_until = now
+        delay = now - (self.peer.joined_at if self.peer.joined_at is not None else now)
+        self._emit(now, "start", delay=delay)
+        self._schedule_deadline(now)
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+
+    def _schedule_deadline(self, now: float) -> None:
+        """Schedule the exactly-computed next stall (or finish) instant."""
+        self.position_bytes = self.current_position(now)
+        self._played_until = now
+        self._deadline_generation += 1
+        generation = self._deadline_generation
+        if self.in_order_pieces >= self.num_pieces:
+            remaining = (self.total_bytes - self.position_bytes) / self.rate
+            self.peer.simulator.schedule(
+                remaining, lambda: self._on_finish_deadline(generation)
+            )
+        else:
+            headroom = (self.in_order_bytes - self.position_bytes) / self.rate
+            self.peer.simulator.schedule(
+                headroom, lambda: self._on_stall_deadline(generation)
+            )
+
+    def _on_stall_deadline(self, generation: int) -> None:
+        if generation != self._deadline_generation:
+            return  # superseded: the buffer grew before the player starved
+        now = self.peer.simulator.now
+        self.position_bytes = float(self.in_order_bytes)
+        self._played_until = now
+        self.stalled = True
+        self.stall_started_at = now
+        self.rebuffer_count += 1
+        self._emit(now, "stall")
+
+    def _on_finish_deadline(self, generation: int) -> None:
+        if generation != self._deadline_generation:
+            return
+        now = self.peer.simulator.now
+        self.position_bytes = float(self.total_bytes)
+        self._played_until = now
+        self.finished_at = now
+        self._emit(now, "finish", elapsed=now - self.started_at)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def _emit(self, now: float, kind: str, **extra) -> None:
+        observer = self.peer.observer
+        if observer is None:
+            return
+        data = {
+            "pieces": self.in_order_pieces,
+            "bytes": self.in_order_bytes,
+            "position": self.current_position(now),
+        }
+        data.update(extra)
+        observer.on_playback(now, kind, data)

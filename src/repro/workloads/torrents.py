@@ -230,6 +230,8 @@ def build_experiment(
     client_mix=None,
     trace_recorder: Optional[TraceRecorder] = None,
     trace_all_peers: bool = False,
+    playback_rate: Optional[float] = None,
+    playback_startup_pieces: Optional[int] = None,
 ) -> ExperimentHarness:
     """Materialise one Table-I scenario into a runnable experiment.
 
@@ -248,6 +250,15 @@ def build_experiment(
     remote peer — including churn arrivals — into the same recorder.
     Tracing draws no randomness, so a traced run's simulation outcome is
     identical to an untraced one with the same seed.
+
+    ``playback_rate`` turns the run into a streaming workload: the local
+    peer and every population leecher (initial, churn and
+    almost-complete joiners; never the seeds) consume the content
+    in-order at that many bytes/second, reporting startup delay and
+    rebuffer events (see :mod:`repro.sim.playback`).  Pair it with a
+    playback-aware ``local_selector``/``population_selector_factory``
+    (``seq-window``, ``pfs``) to study streaming-friendly selection;
+    left at None the run is byte-identical to a non-streaming one.
     """
     capacities = capacities or INTERNET_2005
     client_rng = Random(seed ^ 0xC11E)
@@ -281,11 +292,17 @@ def build_experiment(
             from repro.workloads.clients import sample_client_id
 
             client_id = sample_client_id(client_rng, client_mix)
+        kwargs: Dict = {}
+        if playback_rate is not None:
+            kwargs["playback_rate"] = playback_rate
+            if playback_startup_pieces is not None:
+                kwargs["playback_startup_pieces"] = playback_startup_pieces
         return PeerConfig(
             upload_capacity=upload,
             download_capacity=download,
             seeding_time=rng.expovariate(1.0 / 400.0),
             client_id=client_id,
+            **kwargs,
         )
 
     # Initial seeds.  The first one is "the initial seed" of transient
@@ -372,6 +389,16 @@ def build_experiment(
         else FanoutObserver(instrumentation, tracer)
     )
     local_config = local_config or PeerConfig()
+    if playback_rate is not None:
+        local_config = replace(
+            local_config,
+            playback_rate=playback_rate,
+            playback_startup_pieces=(
+                playback_startup_pieces
+                if playback_startup_pieces is not None
+                else local_config.playback_startup_pieces
+            ),
+        )
     local_holder: Dict[str, Peer] = {}
 
     def add_local() -> None:

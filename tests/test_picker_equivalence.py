@@ -14,19 +14,51 @@ from random import Random
 
 import pytest
 
+from repro.core.rarest_first import make_selector
 from repro.protocol.metainfo import make_metainfo
+from repro.sim.bandwidth import HAVE_NUMPY
 from repro.sim.config import KIB, PeerConfig, SwarmConfig
 from repro.sim.swarm import Swarm
 
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
 
-def build_swarm(seed, num_pieces, num_leechers, use_rarity_index, churn=False):
+#: Every built-in strategy (with non-default parameters for the
+#: parameterised ones), as make_selector specs.
+ALL_SELECTOR_SPECS = [
+    "rarest-first",
+    "random",
+    "sequential",
+    "seq-window:window=6",
+    "pfs:urgency=0.9,rarity_bias=1.0",
+]
+
+#: The fully de-optimised engine: no availability matrix, unbatched
+#: HAVEs, reference allocator, heap queue (mirrors
+#: test_allocator_equivalence.REFERENCE_EXTRA).
+REFERENCE_EXTRA = {
+    "availability_backend": "index",
+    "have_fanout": "unbatched",
+    "allocator": "reference",
+    "event_queue": "heap",
+}
+
+
+def build_swarm(
+    seed,
+    num_pieces,
+    num_leechers,
+    use_rarity_index,
+    churn=False,
+    selector_spec=None,
+    extra=None,
+):
     metainfo = make_metainfo(
         "equivalence-%d" % seed,
         num_pieces=num_pieces,
         piece_size=4 * KIB,
         block_size=1 * KIB,
     )
-    swarm = Swarm(metainfo, SwarmConfig(seed=seed))
+    swarm = Swarm(metainfo, SwarmConfig(seed=seed, extra=dict(extra or {})))
     rng = Random(seed)
 
     def config():
@@ -36,17 +68,40 @@ def build_swarm(seed, num_pieces, num_leechers, use_rarity_index, churn=False):
             seeding_time=(rng.choice([20.0, None]) if churn else None),
         )
 
-    swarm.add_peer(config=config(), is_seed=True)
+    def kwargs():
+        # A fresh selector per peer: the playback-aware strategies carry
+        # per-peer position bindings and must never be shared.
+        if selector_spec is None:
+            return {}
+        return {"selector": make_selector(selector_spec)}
+
+    swarm.add_peer(config=config(), is_seed=True, **kwargs())
     for __ in range(num_leechers):
         delay = rng.uniform(0.0, 30.0)
-        swarm.schedule_arrival(delay, config=config())
+        swarm.schedule_arrival(delay, config=config(), **kwargs())
     return swarm
 
 
-def run_traced(seed, num_pieces, num_leechers, use_rarity_index, churn=False):
+def run_traced(
+    seed,
+    num_pieces,
+    num_leechers,
+    use_rarity_index,
+    churn=False,
+    selector_spec=None,
+    extra=None,
+):
     """Run one swarm, recording every piece replication and per-tick
     rarest-pieces-set snapshots of every online peer."""
-    swarm = build_swarm(seed, num_pieces, num_leechers, use_rarity_index, churn)
+    swarm = build_swarm(
+        seed,
+        num_pieces,
+        num_leechers,
+        use_rarity_index,
+        churn,
+        selector_spec=selector_spec,
+        extra=extra,
+    )
     replications = []
     original = swarm.on_piece_replicated
 
@@ -102,6 +157,74 @@ def test_traces_identical_under_churn():
     assert indexed["replications"] == naive["replications"]
     assert indexed["rarest_snapshots"] == naive["rarest_snapshots"]
     assert indexed["final_bitfields"] == naive["final_bitfields"]
+
+
+@pytest.mark.parametrize("spec", ALL_SELECTOR_SPECS)
+def test_indexed_equals_naive_for_every_selector(spec):
+    """Every built-in strategy's ``select_indexed`` must consume the
+    same RNG and pick the same pieces as its naive ``select``."""
+    naive = run_traced(
+        5, num_pieces=16, num_leechers=5, use_rarity_index=False,
+        selector_spec=spec,
+    )
+    indexed = run_traced(
+        5, num_pieces=16, num_leechers=5, use_rarity_index=True,
+        selector_spec=spec,
+    )
+    assert indexed["replications"] == naive["replications"]
+    assert indexed["rarest_snapshots"] == naive["rarest_snapshots"]
+    assert indexed["completions"] == naive["completions"]
+    assert indexed["bytes_moved"] == naive["bytes_moved"]
+    assert indexed["final_bitfields"] == naive["final_bitfields"]
+
+
+@needs_numpy
+@pytest.mark.parametrize("spec", ALL_SELECTOR_SPECS)
+def test_fast_engine_equals_reference_for_every_selector(spec):
+    """The mega-swarm fast paths (availability matrix + fused HAVE
+    fan-out + numpy allocator) must stay trace-invisible for *every*
+    strategy — non-rarest selectors take the matrix backend's candidate
+    scan instead of the vectorized rarest-first kernel."""
+    reference = run_traced(
+        9, num_pieces=16, num_leechers=5, use_rarity_index=True,
+        selector_spec=spec, extra=REFERENCE_EXTRA,
+    )
+    fast = run_traced(
+        9, num_pieces=16, num_leechers=5, use_rarity_index=True,
+        selector_spec=spec, extra={},
+    )
+    assert fast["replications"] == reference["replications"]
+    assert fast["rarest_snapshots"] == reference["rarest_snapshots"]
+    assert fast["completions"] == reference["completions"]
+    assert fast["bytes_moved"] == reference["bytes_moved"]
+    assert fast["final_bitfields"] == reference["final_bitfields"]
+
+
+@needs_numpy
+def test_sequential_selector_on_wheel_queue_with_numpy_allocator():
+    """Regression: a ``uses_rarity_index``-less strategy on the full
+    fast engine (wheel queue, numpy allocator, matrix backend) used to
+    be hijacked by the vectorized rarest-first kernel.  It must instead
+    run the strategy faithfully and match the reference engine."""
+    fast = run_traced(
+        11, num_pieces=12, num_leechers=4, use_rarity_index=True,
+        selector_spec="sequential",
+        extra={
+            "event_queue": "wheel",
+            "allocator": "numpy",
+            "availability_backend": "matrix",
+        },
+    )
+    reference = run_traced(
+        11, num_pieces=12, num_leechers=4, use_rarity_index=False,
+        selector_spec="sequential", extra=REFERENCE_EXTRA,
+    )
+    assert fast["replications"] == reference["replications"]
+    assert fast["completions"] == reference["completions"]
+    assert fast["final_bitfields"] == reference["final_bitfields"]
+    # And the run actually downloads: the old dispatch either raised or
+    # silently fell back to rarest first (different replication order).
+    assert any(fast["final_bitfields"].values())
 
 
 def test_modes_are_actually_different_code_paths():
