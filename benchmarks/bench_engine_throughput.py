@@ -40,6 +40,14 @@ naive/indexed/fast differential as the other tiers and asserts trace
 equivalence (plus identical playback outcomes), gating the fast
 engine's non-rarest selector dispatch at benchmark scale.
 
+An ``open_system`` tier runs the flash-crowd stability workload: every
+leecher departs the instant it completes, selection goes through the
+mode-suppression strategy (whose scarcity-oracle binding and optional
+offer-declines sit on the selection hot path), and a read-only
+``StabilityDetector`` samples the swarm throughout.  The tier measures
+the same naive/indexed/fast differential and asserts trace equivalence
+*and* identical stability verdicts across the three engine paths.
+
 An ``xlarge`` mega-swarm tier (1000 leechers + 1 seed) runs the fast
 configuration only — the reference path would take tens of minutes —
 once on the binary-heap event queue and once on the calendar
@@ -119,6 +127,15 @@ XLARGE = dict(leechers=1000, pieces=2048, sim_seconds=90.0)
 STREAMING = dict(leechers=30, pieces=1024, sim_seconds=450.0)
 STREAMING_SELECTOR = "seq-window:window=32"
 STREAMING_RATE = 24.0 * KIB
+# The open-system tier: a flash crowd of depart-on-completion leechers
+# against one deliberately weak origin seed, selection through the
+# mode-suppression strategy and a StabilityDetector sampling throughout
+# — the flash-crowd stability workload (DESIGN.md §14) at benchmark
+# scale.
+OPEN_SYSTEM = dict(leechers=40, pieces=256, sim_seconds=400.0)
+OPEN_SYSTEM_SELECTOR = "mode-suppression:suppression=0.9"
+OPEN_SYSTEM_SEED_UPLOAD = 24.0 * KIB
+OPEN_SYSTEM_STABILITY_INTERVAL = 20.0
 QUICK_SCALE = 0.25  # --quick shrinks the simulated window, not the swarm
 
 # Pins every mega-swarm fast path off: the pre-PR hot path, kept
@@ -152,6 +169,8 @@ def build_swarm(
     extra=None,
     selector_spec=None,
     playback_rate=None,
+    seeding_time=None,
+    seed_upload=None,
 ) -> Swarm:
     metainfo = make_metainfo(
         "throughput-%dp" % pieces,
@@ -167,6 +186,8 @@ def build_swarm(
         kwargs = {}
         if playback_rate is not None:
             kwargs["playback_rate"] = playback_rate
+        if seeding_time is not None:
+            kwargs["seeding_time"] = seeding_time
         return PeerConfig(
             upload_capacity=rng.choice([32, 64, 96, 128]) * KIB,
             use_rarity_index=use_rarity_index,
@@ -180,7 +201,17 @@ def build_swarm(
             return {}
         return {"selector": make_selector(selector_spec)}
 
-    swarm.add_peer(config=peer_config(), is_seed=True, **peer_kwargs())
+    if seed_upload is not None:
+        # Open-system tier: a dedicated weak origin seed that never
+        # departs (its config draws no seeding_time).
+        swarm.add_peer(
+            config=PeerConfig(
+                upload_capacity=seed_upload, use_rarity_index=use_rarity_index
+            ),
+            is_seed=True,
+        )
+    else:
+        swarm.add_peer(config=peer_config(), is_seed=True, **peer_kwargs())
     # Staggered arrivals spread the availability distribution across
     # many copy counts, the regime the rarity buckets are built for.
     for index in range(leechers):
@@ -215,6 +246,9 @@ def run_once(
     extra=None,
     selector_spec=None,
     playback_rate=None,
+    seeding_time=None,
+    seed_upload=None,
+    stability_interval=None,
 ) -> dict:
     """One timed swarm run.  ``trace`` selects the tracing configuration:
     ``"off"``, ``"local"`` (one observed peer, the paper's methodology and
@@ -239,7 +273,14 @@ def run_once(
     swarm = build_swarm(
         leechers, pieces, seed, use_rarity_index, factory, extra,
         selector_spec=selector_spec, playback_rate=playback_rate,
+        seeding_time=seeding_time, seed_upload=seed_upload,
     )
+    detector = None
+    if stability_interval is not None:
+        from repro.workloads.open_system import StabilityDetector
+
+        detector = StabilityDetector(interval=stability_interval)
+        detector.attach(swarm)
     started = time.perf_counter()
     result = swarm.run(sim_seconds)
     wall = time.perf_counter() - started
@@ -253,6 +294,10 @@ def run_once(
         "completion_trace": sorted(result.completions.items()),
         "fingerprint": swarm_fingerprint(swarm),
     }
+    if detector is not None:
+        verdict = detector.finalize(swarm.simulator.now)
+        row["departures"] = len(result.departures)
+        row["stability_verdict"] = verdict.as_dict()
     if playback_rate is not None:
         states = [
             peer.playback
@@ -533,6 +578,80 @@ def run_streaming_suite(quick: bool, seed: int) -> dict:
     return section
 
 
+def run_open_system_suite(quick: bool, seed: int) -> dict:
+    """The open-system flash-crowd tier: depart-on-completion arrivals,
+    mode-suppression selection and a sampling StabilityDetector.
+
+    The suppression decision consults the picker's scarcity oracle on
+    every selection probe (and may consume an extra RNG draw to decline
+    an offer), and completion-time departures put peer-teardown events
+    on the hot path — the costs this tier exists to track.  The three
+    engine paths must execute the identical event sequence *and* reach
+    the identical stability verdict.
+    """
+    sim_seconds = OPEN_SYSTEM["sim_seconds"] * (QUICK_SCALE if quick else 1.0)
+    section = {
+        "peers": OPEN_SYSTEM["leechers"] + 1,
+        "pieces": OPEN_SYSTEM["pieces"],
+        "sim_seconds": sim_seconds,
+        "selector": OPEN_SYSTEM_SELECTOR,
+        "seed_upload": OPEN_SYSTEM_SEED_UPLOAD,
+        "stability_interval": OPEN_SYSTEM_STABILITY_INTERVAL,
+    }
+    configs = (
+        ("naive", False, REFERENCE_EXTRA),
+        ("indexed", True, REFERENCE_EXTRA),
+        ("fast", True, FAST_EXTRA),
+    )
+    for label, use_index, extra in configs:
+        section[label] = run_once(
+            OPEN_SYSTEM["leechers"], OPEN_SYSTEM["pieces"], sim_seconds, seed,
+            use_index, extra=extra,
+            selector_spec=OPEN_SYSTEM_SELECTOR, seeding_time=0.0,
+            seed_upload=OPEN_SYSTEM_SEED_UPLOAD,
+            stability_interval=OPEN_SYSTEM_STABILITY_INTERVAL,
+        )
+        print(
+            "%-11s %-8s wall=%7.2fs  events/s=%10.1f  blocks=%d  "
+            "departed=%d  stable=%s"
+            % (
+                "open-system",
+                label,
+                section[label]["wall_seconds"],
+                section[label]["events_per_second"],
+                section[label]["blocks_moved"],
+                section[label]["departures"],
+                section[label]["stability_verdict"]["stable"],
+            )
+        )
+    reference_trace = section["naive"].pop("completion_trace")
+    section["traces_match"] = all(
+        section[label].pop("completion_trace") == reference_trace
+        and section[label]["fingerprint"] == section["naive"]["fingerprint"]
+        and section[label]["departures"] == section["naive"]["departures"]
+        and section[label]["stability_verdict"]
+        == section["naive"]["stability_verdict"]
+        for label in ("indexed", "fast")
+    )
+    section["speedup_indexed_over_naive"] = round(
+        section["naive"]["wall_seconds"] / section["indexed"]["wall_seconds"], 2
+    )
+    section["speedup_fast_over_indexed"] = round(
+        section["indexed"]["wall_seconds"] / section["fast"]["wall_seconds"], 2
+    )
+    print(
+        "%-11s speedup: indexed/naive=%.2fx  fast/indexed=%.2fx  "
+        "traces_match=%s"
+        % (
+            "open-system",
+            section["speedup_indexed_over_naive"],
+            section["speedup_fast_over_indexed"],
+            section["traces_match"],
+        )
+    )
+    return section
+
+
 def run_xlarge_suite(quick: bool, seed: int) -> dict:
     """The 1000-leecher mega-swarm tier, fast configuration only.
 
@@ -664,6 +783,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     report = run_suite(args.quick, args.seed)
     report["swarms"]["streaming"] = run_streaming_suite(args.quick, args.seed)
+    report["swarms"]["open_system"] = run_open_system_suite(args.quick, args.seed)
     if not args.skip_xlarge:
         report["swarms"]["xlarge"] = run_xlarge_suite(args.quick, args.seed)
     report["campaign"] = run_campaign_suite(args.quick, args.seed)

@@ -12,7 +12,9 @@ Each module maps to one group of figures:
   unchoke/interest correlation, seed service uniformity);
 * :mod:`repro.analysis.stats` — shared percentile/CDF helpers;
 * :mod:`repro.analysis.streaming` — playback metrics (startup delay,
-  rebuffering, in-order lag) for streaming workloads.
+  rebuffering, in-order lag) for streaming workloads;
+* :mod:`repro.analysis.stability` — open-system stable/unstable
+  classification and sim-vs-fluid phase diagrams.
 """
 
 from repro.analysis.entropy import EntropySummary, entropy_ratios, summarize_entropy
@@ -25,22 +27,34 @@ from repro.analysis.fairness import (
 from repro.analysis.interarrival import InterarrivalSummary, interarrival_summary
 from repro.analysis.peerset import peer_set_series
 from repro.analysis.replication import rarest_set_series, replication_series
+from repro.analysis.stability import (
+    POLICY_EFFECTIVENESS,
+    classify_fluid,
+    classify_record,
+    fluid_model_for_policy,
+    phase_diagram,
+)
 from repro.analysis.stats import cdf, pearson, percentile
 from repro.analysis.streaming import PlaybackSummary, in_order_lag, playback_summary
 
 __all__ = [
     "EntropySummary",
     "InterarrivalSummary",
+    "POLICY_EFFECTIVENESS",
     "PlaybackSummary",
     "UnchokeCorrelation",
     "cdf",
+    "classify_fluid",
+    "classify_record",
     "entropy_ratios",
+    "fluid_model_for_policy",
     "in_order_lag",
     "interarrival_summary",
     "leecher_contribution",
     "pearson",
     "peer_set_series",
     "percentile",
+    "phase_diagram",
     "playback_summary",
     "rarest_set_series",
     "replication_series",

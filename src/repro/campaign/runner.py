@@ -71,8 +71,19 @@ def _alarm(signum, frame):  # pragma: no cover - fires only on overrun
 def resolve_scenario(shard: ShardSpec):
     """The Table-I scenario with the shard's overrides applied."""
     scenario = scenario_by_id(shard.torrent_id)
+    overrides = {}
     if shard.duration is not None:
-        scenario = scaled_copy(scenario, duration=shard.duration)
+        overrides["duration"] = shard.duration
+    if shard.arrival_rate is not None:
+        overrides["arrival_rate"] = shard.arrival_rate
+    if shard.seed_upload is not None:
+        overrides["initial_seed_upload"] = shard.seed_upload
+    if shard.num_pieces is not None:
+        overrides["num_pieces"] = shard.num_pieces
+    if shard.piece_size is not None:
+        overrides["piece_size"] = shard.piece_size
+    if overrides:
+        scenario = scaled_copy(scenario, **overrides)
     return scenario
 
 
@@ -138,6 +149,12 @@ def execute_shard(
         strategy_kwargs["playback_startup_pieces"] = (
             shard.playback_startup_pieces
         )
+    if shard.depart_on_completion:
+        strategy_kwargs["depart_on_completion"] = True
+    if shard.flash_crowd_size is not None:
+        strategy_kwargs["flash_crowd_size"] = shard.flash_crowd_size
+    if shard.stability_interval is not None:
+        strategy_kwargs["stability_interval"] = shard.stability_interval
 
     trace_tmp = cache.trace_tmp_path(key) if cache is not None else None
     recorder = TraceRecorder(str(trace_tmp) if trace_tmp is not None else None)
@@ -194,6 +211,8 @@ def execute_shard(
             "finished_at": playback.finished_at,
             "in_order_pieces": playback.in_order_pieces,
         }
+    if harness.stability is not None and harness.stability.verdict is not None:
+        record["summary"]["stability"] = harness.stability.verdict.as_dict()
     record.update(shard.as_payload())
     if cache is not None:
         cache.store(key, record, trace_tmp=trace_tmp)

@@ -60,6 +60,30 @@ class ScenarioVariant:
     playback_startup_pieces: Optional[int] = None
     """Startup-buffer threshold (contiguous pieces) for streaming runs."""
 
+    arrival_rate: Optional[float] = None
+    """Poisson leecher arrival rate (peers/s) override for the scenario."""
+
+    seed_upload: Optional[float] = None
+    """Initial-seed upload capacity (bytes/s) override."""
+
+    num_pieces: Optional[int] = None
+    """Piece-count override (shrinks the content for fast sweeps)."""
+
+    piece_size: Optional[int] = None
+    """Piece-size override (bytes)."""
+
+    depart_on_completion: bool = False
+    """Open-system mode: every population leecher leaves the instant it
+    completes (see :mod:`repro.workloads.open_system`)."""
+
+    flash_crowd_size: Optional[int] = None
+    """Extra torrent-birth burst of that many leechers."""
+
+    stability_interval: Optional[float] = None
+    """Attach a swarm-stability detector sampling every that-many
+    seconds; None (the default) attaches nothing and leaves traces
+    byte-identical to pre-open-system campaigns."""
+
 
 #: The scenario registry.  ``paper`` is the evaluation as published;
 #: ``smoke`` is the same swarm on a short window (CI and tests);
@@ -87,6 +111,33 @@ SCENARIOS = {
         "streaming-pfs",
         selector="pfs:urgency=0.95,rarity_bias=1.0",
         playback_rate=STREAMING_PLAYBACK_RATE,
+    ),
+    # Open-system flash crowds (departure on completion, a torrent-birth
+    # burst, a stability detector sampling the swarm).  The two variants
+    # differ only in the piece-selection policy, so a phase diagram over
+    # (arrival_rate, seed_upload) x {flash-crowd, flash-crowd-suppress}
+    # isolates mode suppression's effect on the stability boundary (see
+    # repro.analysis.stability).
+    "flash-crowd": ScenarioVariant(
+        "flash-crowd",
+        duration=1200.0,
+        num_pieces=48,
+        piece_size=64 * 1024,
+        block_size=16 * 1024,
+        depart_on_completion=True,
+        flash_crowd_size=12,
+        stability_interval=30.0,
+    ),
+    "flash-crowd-suppress": ScenarioVariant(
+        "flash-crowd-suppress",
+        duration=1200.0,
+        num_pieces=48,
+        piece_size=64 * 1024,
+        block_size=16 * 1024,
+        selector="mode-suppression:suppression=0.9",
+        depart_on_completion=True,
+        flash_crowd_size=12,
+        stability_interval=30.0,
     ),
 }
 
@@ -120,6 +171,13 @@ class ShardSpec:
     selector: Optional[str] = None
     playback_rate: Optional[float] = None
     playback_startup_pieces: Optional[int] = None
+    arrival_rate: Optional[float] = None
+    seed_upload: Optional[float] = None
+    num_pieces: Optional[int] = None
+    piece_size: Optional[int] = None
+    depart_on_completion: bool = False
+    flash_crowd_size: Optional[int] = None
+    stability_interval: Optional[float] = None
 
     @property
     def shard_id(self) -> str:
@@ -148,6 +206,20 @@ class ShardSpec:
             payload["playback_rate"] = self.playback_rate
         if self.playback_startup_pieces is not None:
             payload["playback_startup_pieces"] = self.playback_startup_pieces
+        if self.arrival_rate is not None:
+            payload["arrival_rate"] = self.arrival_rate
+        if self.seed_upload is not None:
+            payload["seed_upload"] = self.seed_upload
+        if self.num_pieces is not None:
+            payload["num_pieces"] = self.num_pieces
+        if self.piece_size is not None:
+            payload["piece_size"] = self.piece_size
+        if self.depart_on_completion:
+            payload["depart_on_completion"] = True
+        if self.flash_crowd_size is not None:
+            payload["flash_crowd_size"] = self.flash_crowd_size
+        if self.stability_interval is not None:
+            payload["stability_interval"] = self.stability_interval
         return payload
 
     @classmethod
@@ -163,6 +235,13 @@ class ShardSpec:
             selector=payload.get("selector"),
             playback_rate=payload.get("playback_rate"),
             playback_startup_pieces=payload.get("playback_startup_pieces"),
+            arrival_rate=payload.get("arrival_rate"),
+            seed_upload=payload.get("seed_upload"),
+            num_pieces=payload.get("num_pieces"),
+            piece_size=payload.get("piece_size"),
+            depart_on_completion=payload.get("depart_on_completion", False),
+            flash_crowd_size=payload.get("flash_crowd_size"),
+            stability_interval=payload.get("stability_interval"),
         )
 
 
@@ -184,6 +263,8 @@ class CampaignSpec:
     block_size: Optional[int] = None
     selector: Optional[str] = None
     playback_rate: Optional[float] = None
+    arrival_rate: Optional[float] = None
+    seed_upload: Optional[float] = None
 
     def describe(self) -> dict:
         return {
@@ -196,6 +277,8 @@ class CampaignSpec:
             "block_size": self.block_size,
             "selector": self.selector,
             "playback_rate": self.playback_rate,
+            "arrival_rate": self.arrival_rate,
+            "seed_upload": self.seed_upload,
         }
 
 
@@ -259,6 +342,21 @@ def expand_spec(
                         else variant.playback_rate
                     ),
                     playback_startup_pieces=variant.playback_startup_pieces,
+                    arrival_rate=(
+                        spec.arrival_rate
+                        if spec.arrival_rate is not None
+                        else variant.arrival_rate
+                    ),
+                    seed_upload=(
+                        spec.seed_upload
+                        if spec.seed_upload is not None
+                        else variant.seed_upload
+                    ),
+                    num_pieces=variant.num_pieces,
+                    piece_size=variant.piece_size,
+                    depart_on_completion=variant.depart_on_completion,
+                    flash_crowd_size=variant.flash_crowd_size,
+                    stability_interval=variant.stability_interval,
                 )
                 if shard_filter and not _matches(shard.shard_id, shard_filter):
                     continue

@@ -173,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", default="paper",
         help="comma-separated scenario variants: paper, smoke, "
         "faults-light, faults-heavy, streaming-rarest, streaming-seqwin, "
-        "streaming-pfs",
+        "streaming-pfs, flash-crowd, flash-crowd-suppress",
     )
     campaign_run.add_argument(
         "--selector", default=None, metavar="SPEC",
@@ -288,6 +288,55 @@ def build_parser() -> argparse.ArgumentParser:
     model_parser.add_argument("--abort-rate", type=float, default=0.0)
     model_parser.add_argument("--effectiveness", type=float, default=1.0)
     model_parser.add_argument("--duration", type=float, default=2000.0)
+    model_parser.add_argument(
+        "--seed-capacity", type=float, default=0.0, metavar="PER_S",
+        help="completions/s injected by a permanent initial seed "
+        "(open-system extension)",
+    )
+    model_parser.add_argument(
+        "--open", action="store_true",
+        help="open system: volunteer seeds depart instantly "
+        "(seed_departure_rate = inf, overrides --seed-stay)",
+    )
+
+    stability_parser = commands.add_parser(
+        "stability",
+        help="open-system stability phase diagram, sim cross-validated "
+        "against the fluid model",
+    )
+    stability_parser.add_argument(
+        "--arrival-rates", default="0.12,0.35", metavar="LIST",
+        help="comma-separated Poisson arrival rates (peers/s)",
+    )
+    stability_parser.add_argument(
+        "--seed-uploads", default="16384,49152", metavar="LIST",
+        help="comma-separated initial-seed upload capacities (bytes/s)",
+    )
+    stability_parser.add_argument(
+        "--policies", default="rarest-first,mode-suppression", metavar="LIST",
+        help="comma-separated policies (rarest-first, mode-suppression)",
+    )
+    stability_parser.add_argument(
+        "--torrent", type=int, default=2, help="Table-I id (1-26)"
+    )
+    stability_parser.add_argument(
+        "--cache-dir", default="stability-cache",
+        help="shared shard cache: re-runs are pure cache hits",
+    )
+    stability_parser.add_argument("--workers", type=int, default=1)
+    stability_parser.add_argument("--campaign-seed", type=int, default=3)
+    stability_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="override the simulated run length per cell",
+    )
+    stability_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-shard wall-clock budget in seconds",
+    )
+    stability_parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the phase-diagram JSON to PATH",
+    )
     return parser
 
 
@@ -317,7 +366,8 @@ def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
         "--selector", default=None, metavar="SPEC",
         help="piece-selection strategy for every peer: rarest-first "
         "(default), random, sequential, 'seq-window:window=16', "
-        "'pfs:urgency=0.95,rarity_bias=1.0'",
+        "'pfs:urgency=0.95,rarity_bias=1.0', "
+        "'mode-suppression:suppression=0.9'",
     )
     parser.add_argument(
         "--playback-rate", type=float, default=None, metavar="BYTES_PER_S",
@@ -343,6 +393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "model": _cmd_model,
         "net": _cmd_net,
         "campaign": _cmd_campaign,
+        "stability": _cmd_stability,
     }[args.command]
     return handler(args)
 
@@ -751,12 +802,19 @@ def _cmd_net(args: argparse.Namespace) -> int:
 
 
 def _cmd_model(args: argparse.Namespace) -> int:
+    if args.open:
+        seed_departure_rate = float("inf")
+    else:
+        seed_departure_rate = (
+            1.0 / args.seed_stay if args.seed_stay > 0 else 0.0
+        )
     model = FluidModel(
         arrival_rate=args.arrival_rate,
         upload_rate=args.upload / args.content,
         abort_rate=args.abort_rate,
-        seed_departure_rate=1.0 / args.seed_stay if args.seed_stay > 0 else 0.0,
+        seed_departure_rate=seed_departure_rate,
         effectiveness=args.effectiveness,
+        seed_capacity=args.seed_capacity,
     )
     states = model.integrate(duration=args.duration, dt=1.0)
     leechers = [s.leechers for s in states]
@@ -773,12 +831,65 @@ def _cmd_model(args: argparse.Namespace) -> int:
         if mean_dl is not None:
             print("mean download time: %.0f s" % mean_dl)
     else:
-        print("no finite steady state (seeds accumulate)")
+        print("no finite steady state (unstable: the backlog grows)")
     print(
         "final populations after %.0f s: %.1f leechers, %.1f seeds"
         % (args.duration, leechers[-1], seeds[-1])
     )
     return 0
+
+
+def _parse_float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_stability(args: argparse.Namespace) -> int:
+    from repro.analysis.stability import phase_diagram
+
+    policies = tuple(
+        part.strip() for part in args.policies.split(",") if part.strip()
+    )
+    diagram = phase_diagram(
+        arrival_rates=_parse_float_list(args.arrival_rates),
+        seed_uploads=_parse_float_list(args.seed_uploads),
+        policies=policies,
+        torrent_id=args.torrent,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        campaign_seed=args.campaign_seed,
+        duration=args.duration,
+        timeout=args.timeout,
+        progress=lambda message: print("  " + message),
+    )
+    rows = []
+    for cell in diagram["cells"]:
+        rows.append(
+            [
+                "%.3f" % cell["arrival_rate"],
+                "%.0f" % cell["seed_upload"],
+                cell["policy"],
+                cell["sim"] or "-",
+                cell["fluid"],
+                "yes" if cell["agree"] else "NO",
+            ]
+        )
+    print(
+        ascii_table(
+            ["arrival/s", "seed B/s", "policy", "sim", "fluid", "agree"], rows
+        )
+    )
+    agreement = diagram["agreement"]
+    print(
+        "sim-vs-fluid agreement: %d/%d classified cells (%d total)"
+        % (agreement["agreeing"], agreement["classified"], agreement["total"])
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(diagram, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output)
+    classified = agreement["classified"]
+    return 0 if classified and agreement["agreeing"] == classified else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -289,6 +289,12 @@ class PiecePicker:
             )
         else:
             self._wanted_mask = None
+        # Mode-suppression selectors judge offers against the rarest
+        # *wanted* copy count; bind the backend-independent oracle the
+        # same way peers bind playback positions into their selectors.
+        bind_scarcity = getattr(selector, "bind_scarcity", None)
+        if bind_scarcity is not None:
+            bind_scarcity(self.wanted_scarcity)
 
     # ------------------------------------------------------------------
     # availability accounting
@@ -386,6 +392,33 @@ class PiecePicker:
     def remote_has(self, piece: int) -> None:
         """Account one HAVE message."""
         self._availability_delta(piece, +1)
+
+    def wanted_scarcity(self) -> Optional[int]:
+        """Copies of the rarest *wanted* piece (missing and not yet
+        started), or ``None`` when nothing is wanted.
+
+        This is the scarcity oracle mode-suppression selectors compare
+        offers against; all three availability backends compute the
+        identical value, so binding it never perturbs trace
+        equivalence.
+        """
+        if self._backend == "index":
+            if self._wanted_index.is_empty():
+                return None
+            return self._wanted_index.min_count()
+        if self._backend == "matrix":
+            counts = self._matrix.data[self._slot][self._wanted_mask]
+            if not counts.size:
+                return None
+            return int(counts.min())
+        best: Optional[int] = None
+        for piece in self._bitfield.missing_indices():
+            if piece in self._active:
+                continue
+            count = self._availability[piece]
+            if best is None or count < best:
+                best = count
+        return best
 
     def rarest_pieces_set(self) -> Tuple[int, List[int]]:
         """(m, pieces-with-m-copies): the paper's rarest pieces set.

@@ -17,6 +17,9 @@ Strategies provided:
   worst case for diversity);
 * :class:`GlobalRarestSelector` — an oracle given *true* global
   replication counts, the "global knowledge" upper bound discussed in §I;
+* :class:`ModeSuppressionSelector` — rarest first with probabilistic
+  mode suppression (RFwPMS, arXiv 2211.00213): refuses over-replicated
+  offers so open-system flash crowds stay stable;
 * :class:`SequentialWindowSelector` — rarest first restricted to a
   sliding window ahead of a playback position (streaming/VoD);
 * :class:`ProportionalFairSelector` — PFS/EPFS-style probabilistic
@@ -63,13 +66,16 @@ class PieceSelector(ABC):
         candidates: List[int],
         availability: Sequence[int],
         rng: Random,
-    ) -> int:
-        """Return one element of *candidates*.
+    ) -> Optional[int]:
+        """Return one element of *candidates*, or ``None`` to decline.
 
         ``availability[piece]`` is the number of copies of ``piece``
         currently present in the local peer set.  *candidates* is never
         empty and contains only pieces the remote peer offers and the
-        local peer misses and has not started.
+        local peer misses and has not started.  Returning ``None``
+        declines the whole offer — a deliberately non-work-conserving
+        choice only :class:`ModeSuppressionSelector` makes; every other
+        strategy always picks.
         """
 
     def select_indexed(
@@ -138,6 +144,107 @@ class RarestFirstSelector(PieceSelector):
         for __, bucket in wanted.ascending():
             eligible = bucket & remote_have
             if eligible:
+                return rng.choice(sorted(eligible))
+        return None
+
+
+def _unbound_scarcity() -> Optional[int]:
+    return None
+
+
+class ModeSuppressionSelector(PieceSelector):
+    """Rarest first with probabilistic mode suppression (RFwPMS).
+
+    Under open Poisson arrivals with departure on completion, plain
+    rarest first can be *unstable*: the swarm collapses into a "one
+    club" holding every piece except the seed's rare one, young peers
+    work-conservingly download the over-replicated mass and join the
+    club, and the origin seed ends up the sole server of the missing
+    piece — the missing-piece syndrome (Hajek–Zhu; RFwPMS, arXiv
+    2211.00213).  RFwPMS breaks the club by *suppressing the mode*:
+    when everything a remote offers is strictly more replicated than
+    the swarm's rarest wanted tier (in the one-club state, exactly the
+    mode set), the peer declines the offer with probability
+    ``suppression`` instead of deepening the mode — a deliberately
+    non-work-conserving choice.
+
+    When the remote does offer a rarest-tier piece the selection is
+    exactly rarest first (identical RNG draws), and with
+    ``suppression=0`` the strategy reduces to
+    :class:`RarestFirstSelector` bit for bit.  The rarest piece is
+    therefore never suppressed: an offer containing it — in particular
+    an offer where it is the only candidate — is always served.
+
+    The rarest *wanted* copy count comes from a scarcity oracle bound
+    by the owning picker (:meth:`bind_scarcity` — the same binding
+    pattern playback-aware selectors use for their position source).
+    Unbound, the oracle reports nothing and the strategy degrades to
+    plain rarest first.  Like the playback-aware strategies, instances
+    carry per-peer state and must never be shared between peers.
+    """
+
+    name = "mode-suppression"
+
+    uses_rarity_index = True
+    matrix_vectorized = False  # keeps its own policy on the matrix backend
+
+    def __init__(self, suppression: float = 0.9):
+        if not 0.0 <= suppression <= 1.0:
+            raise ValueError("suppression must be in [0, 1]")
+        self.suppression = suppression
+        self._scarcity: Callable[[], Optional[int]] = _unbound_scarcity
+
+    def bind_scarcity(self, scarcity: Callable[[], Optional[int]]) -> None:
+        """Bind the owning picker's rarest-wanted-copy-count oracle."""
+        self._scarcity = scarcity
+
+    def __repr__(self) -> str:
+        return "ModeSuppressionSelector(suppression=%g)" % self.suppression
+
+    def _suppresses(self, offered_min: int, rng: Random) -> bool:
+        """Decide whether to decline an offer whose rarest candidate has
+        ``offered_min`` copies.  Draws exactly one ``rng.random()`` iff
+        the offer sits strictly above the rarest wanted tier and
+        ``suppression`` is positive; both selection paths route through
+        this one decision so their RNG consumption stays identical.
+        """
+        if self.suppression <= 0.0:
+            return False
+        rarest_wanted = self._scarcity()
+        if rarest_wanted is None or offered_min <= rarest_wanted:
+            return False
+        return rng.random() < self.suppression
+
+    def select(
+        self,
+        candidates: List[int],
+        availability: Sequence[int],
+        rng: Random,
+    ) -> Optional[int]:
+        offered_min = min(int(availability[piece]) for piece in candidates)
+        if self._suppresses(offered_min, rng):
+            return None
+        ties = [
+            piece for piece in candidates if availability[piece] == offered_min
+        ]
+        return rng.choice(ties)
+
+    def select_indexed(
+        self,
+        wanted: "RarityIndex",
+        remote_bitfield: "Bitfield",
+        rng: Random,
+    ) -> Optional[int]:
+        """First non-empty bucket∩remote is the offer's rarest tier; its
+        count feeds the same suppression decision as :meth:`select`,
+        then the sorted tie set reproduces the naive scan's ascending
+        candidate order for the ``rng.choice`` draw."""
+        remote_have = remote_bitfield.have_set
+        for count, bucket in wanted.ascending():
+            eligible = bucket & remote_have
+            if eligible:
+                if self._suppresses(count, rng):
+                    return None
                 return rng.choice(sorted(eligible))
         return None
 
@@ -426,6 +533,7 @@ class ProportionalFairSelector(PlaybackAwareSelector):
 #: on purpose — it needs a live swarm oracle and stays programmatic.
 SELECTOR_REGISTRY: Dict[str, Callable[..., PieceSelector]] = {
     RarestFirstSelector.name: RarestFirstSelector,
+    ModeSuppressionSelector.name: ModeSuppressionSelector,
     RandomSelector.name: RandomSelector,
     SequentialSelector.name: SequentialSelector,
     SequentialWindowSelector.name: SequentialWindowSelector,

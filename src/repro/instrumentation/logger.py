@@ -192,6 +192,11 @@ class Instrumentation(PeerObserver):
         self.in_order_history: List[Tuple[float, int, int]] = []
         """(time, contiguous pieces, contiguous bytes) at every in-order
         delivery advance — the in-order delivery-rate series."""
+        self.stability_events: List[Tuple[float, str, dict]] = []
+        """Swarm-level stability samples (empty unless a
+        :class:`~repro.workloads.open_system.StabilityDetector` is
+        attached): every on_stability event, feeding the open-system
+        stable/unstable classifier in :mod:`repro.analysis.stability`."""
         self.metrics = MetricsRegistry()
         """Counter/gauge/histogram registry fed by the hooks; the
         compatibility views :attr:`messages_sent`,
@@ -438,6 +443,9 @@ class Instrumentation(PeerObserver):
 
     def on_fault(self, now: float, kind: str) -> None:
         self.metrics.inc("fault." + kind)
+
+    def on_stability(self, now: float, kind: str, data: dict) -> None:
+        self.stability_events.append((now, kind, dict(data)))
 
     def on_playback(self, now: float, kind: str, data: dict) -> None:
         self.playback_events.append((now, kind, dict(data)))

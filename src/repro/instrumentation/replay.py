@@ -397,6 +397,8 @@ def replay_instrumentation(
             instrumentation.on_snapshot(now, Snapshot(**event["data"]))
         elif kind == "playback":
             instrumentation.on_playback(now, event["kind"], event["data"])
+        elif kind == "stability":
+            instrumentation.on_stability(now, event["kind"], event["data"])
         elif kind == "finalize":
             _apply_open_entries(event["open"], stub, open_connections)
             stub.joined_at = event["joined_at"]

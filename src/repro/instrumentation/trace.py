@@ -51,6 +51,12 @@ seconds), ``type`` and ``peer`` (the observed peer's address):
                gated: never emitted unless the peer has
                ``PeerConfig.playback_rate`` set, so non-streaming traces
                are byte-identical to schema v1 files that predate it
+``stability``  ``kind`` (``sample``/``finalize``), ``data`` (swarm-size
+               and chunk-distribution sample, see
+               :meth:`~repro.sim.observer.PeerObserver.on_stability`) —
+               gated: never emitted unless a
+               :class:`~repro.workloads.open_system.StabilityDetector`
+               is attached, so closed-system traces are byte-identical
 ``snapshot``   ``data``: every field of one
                :class:`~repro.instrumentation.logger.Snapshot`
 ``finalize``   ``joined_at``, ``became_seed_at``, ``open`` (as above)
@@ -463,6 +469,17 @@ class TracingObserver(PeerObserver):
             {
                 "t": now,
                 "type": "playback",
+                "peer": self._addr,
+                "kind": kind,
+                "data": dict(data),
+            }
+        )
+
+    def on_stability(self, now: float, kind: str, data: dict) -> None:
+        self.recorder.emit(
+            {
+                "t": now,
+                "type": "stability",
                 "peer": self._addr,
                 "kind": kind,
                 "data": dict(data),

@@ -12,16 +12,30 @@ State variables: ``x(t)`` leechers, ``y(t)`` seeds.  Parameters:
   leecher holds something another peer wants (the quantity the rarest
   first algorithm drives to ~1; the paper's entropy measurements are an
   empirical estimate of it).
+* ``c0``     — *seed capacity*: completions/s injected by a permanent
+  initial seed that never counts in ``y`` (open-system extension).
 
-Dynamics (equations (1) of [21])::
+Dynamics (equations (1) of [21], plus the fixed-seed term)::
 
-    dx/dt = lam - theta*x - min(c*x, mu*(eta*x + y))
-    dy/dt =      min(c*x, mu*(eta*x + y)) - gamma*y
+    dx/dt = lam - theta*x - min(c*x, mu*(eta*x + y) + c0)
+    dy/dt =      min(c*x, mu*(eta*x + y) + c0) - gamma*y
 
 The download-completion flow is the min of total download and total
 upload capacity.  In steady state with a download-unconstrained swarm,
 the mean download time is ``T = x* / (lam - theta*x*)`` by Little's law,
 with the closed form ``1/T = eta*mu + ... `` discussed in [21].
+
+The *open system* of the missing-piece-syndrome literature (departure
+on completion, a lone persistent seed) is the limit
+``seed_departure_rate = inf`` (volunteer seeds leave instantly, ``y``
+pinned at 0) with ``seed_capacity > 0``.  There the model has a hard
+stability boundary: with per-policy effectiveness ``eta`` the swarm is
+stable iff ``lam <= c0 + eta*mu*x`` can balance arrivals — for the
+one-club regime of plain rarest first (``eta ~ 0``) that degenerates to
+``lam <= c0``, while mode suppression keeps ``eta ~ 1`` and the swarm
+self-scales.  :meth:`FluidModel.steady_state` returns ``None`` exactly
+on the unstable side; :mod:`repro.analysis.stability` builds the
+sim-vs-fluid phase diagrams on top of that predicate.
 """
 
 from __future__ import annotations
@@ -56,6 +70,7 @@ class FluidModel:
         abort_rate: float = 0.0,
         seed_departure_rate: float = 0.0,
         effectiveness: float = 1.0,
+        seed_capacity: float = 0.0,
     ):
         if arrival_rate < 0 or upload_rate <= 0:
             raise ValueError("arrival_rate must be >= 0, upload_rate > 0")
@@ -63,12 +78,15 @@ class FluidModel:
             raise ValueError("effectiveness must be in [0, 1]")
         if download_rate <= 0:
             raise ValueError("download_rate must be positive")
+        if seed_capacity < 0:
+            raise ValueError("seed_capacity must be >= 0")
         self.lam = arrival_rate
         self.mu = upload_rate
         self.c = download_rate
         self.theta = abort_rate
         self.gamma = seed_departure_rate
         self.eta = effectiveness
+        self.c0 = seed_capacity
 
     # -- dynamics -----------------------------------------------------------
 
@@ -78,13 +96,18 @@ class FluidModel:
             download = math.inf if leechers > 0 else 0.0
         else:
             download = self.c * leechers
-        upload = self.mu * (self.eta * leechers + seeds)
+        upload = self.mu * (self.eta * leechers + seeds) + self.c0
         return min(download, upload)
 
     def derivatives(self, leechers: float, seeds: float) -> Tuple[float, float]:
         flow = self.completion_flow(leechers, seeds)
         dx = self.lam - self.theta * leechers - flow
-        dy = flow - self.gamma * seeds
+        if math.isinf(self.gamma):
+            # Open system: completed peers vanish instantly, the seed
+            # population is identically zero.
+            dy = 0.0
+        else:
+            dy = flow - self.gamma * seeds
         return dx, dy
 
     def integrate(
@@ -99,6 +122,8 @@ class FluidModel:
         if duration <= 0 or dt <= 0:
             raise ValueError("duration and dt must be positive")
         x, y = float(initial_leechers), float(initial_seeds)
+        if math.isinf(self.gamma):
+            y = 0.0
         states = [FluidState(0.0, x, y)]
         steps = int(round(duration / dt))
         time = 0.0
@@ -135,15 +160,34 @@ class FluidModel:
             return FluidState(float("inf"), 0.0, 0.0)
         if self.gamma <= 0:
             return None  # seeds accumulate forever, no finite equilibrium
-        # Try the upload-constrained branch first.
-        # flow = mu*(eta*x + y), y = flow/gamma, so
-        # flow = mu*eta*x + mu*flow/gamma  =>  flow*(1 - mu/gamma) = mu*eta*x
-        denominator = 1.0 - self.mu / self.gamma
+        # Try the upload-constrained branch first.  With the fixed-seed
+        # term c0 and y = flow/gamma (y = 0 when gamma is infinite):
+        # flow = mu*eta*x + c0 + mu*flow/gamma
+        #   =>  flow*(1 - mu/gamma) = mu*eta*x + c0
+        denominator = (
+            1.0 if math.isinf(self.gamma) else 1.0 - self.mu / self.gamma
+        )
         if denominator > 0:
-            # flow = mu*eta*x / denominator; combined with
+            # flow = (mu*eta*x + c0)/denominator; combined with
             # lam = theta*x + flow:
-            x_star = self.lam / (self.theta + self.mu * self.eta / denominator)
-            flow = self.mu * self.eta * x_star / denominator
+            #   lam - c0/denominator = x*(theta + mu*eta/denominator)
+            drain = self.theta + self.mu * self.eta / denominator
+            surplus = self.lam - self.c0 / denominator
+            if drain <= 0:
+                # No leecher-driven service at all (eta = 0, no aborts):
+                # the fixed seed is the only sink.  Stable iff it keeps
+                # up with arrivals — the missing-piece-syndrome boundary.
+                if surplus > 0:
+                    return None
+                x_star = 0.0
+                flow = self.lam
+            elif surplus <= 0:
+                # The fixed seed alone absorbs the arrival flow.
+                x_star = 0.0
+                flow = self.lam
+            else:
+                x_star = surplus / drain
+                flow = (self.mu * self.eta * x_star + self.c0) / denominator
         else:
             # Upload capacity outgrows demand: service becomes
             # download-constrained; flow = c*x.
@@ -155,7 +199,7 @@ class FluidModel:
             else:
                 x_star = self.lam / (self.theta + self.c)
                 flow = self.c * x_star
-        y_star = flow / self.gamma
+        y_star = 0.0 if math.isinf(self.gamma) else flow / self.gamma
         return FluidState(float("inf"), x_star, y_star)
 
     def mean_download_time(self) -> Optional[float]:

@@ -155,12 +155,27 @@ class Bitfield:
         """The held piece indices as a set (live view — do not mutate).
 
         This is what makes rarity-bucket intersections O(min(|bucket|,
-        |have|)) at C speed; treat it as read-only."""
+        |have|)) at C speed; treat it as read-only.  Caveat: the fused
+        HAVE fan-out skips this mirror on remote views owned by
+        matrix-attached peers (matrix-mode accounting is bit-level), so
+        for those views use ``have_indices``/``has``, which read the
+        authoritative bitmap."""
         return self._have
 
     def have_indices(self) -> Iterator[int]:
-        """Iterate over indices of held pieces, in increasing order."""
-        return iter(sorted(self._have))
+        """Iterate over indices of held pieces, in increasing order.
+
+        Derived from the bitmap, not the ``have_set`` mirror: remote
+        views owned by matrix-attached peers update only their bits on
+        the fused HAVE fan-out, so the bitmap is the authoritative
+        representation."""
+        return iter(
+            [
+                index
+                for index in range(self._num_pieces)
+                if self._bits[index >> 3] & (0x80 >> (index & 7))
+            ]
+        )
 
     def missing_indices(self) -> Iterator[int]:
         """Iterate over indices of missing pieces, in increasing order."""

@@ -10,6 +10,7 @@ processes as composable generators over a :class:`~repro.sim.swarm.Swarm`.
 
 from __future__ import annotations
 
+import dataclasses
 from random import Random
 from typing import Callable, Optional
 
@@ -77,6 +78,42 @@ def flash_crowd(
             kwargs.update(kwargs_factory())
         swarm.schedule_arrival(delay, config=config, **kwargs)
     return num_peers
+
+
+def open_system_arrivals(
+    swarm: Swarm,
+    rate: float,
+    duration: float,
+    config_factory: PeerConfigFactory,
+    rng: Optional[Random] = None,
+    start: float = 0.0,
+    kwargs_factory: Optional[Callable[[], dict]] = None,
+    **add_peer_kwargs,
+) -> int:
+    """Poisson arrivals with departure-on-completion: the open system of
+    the fluid models ([26], arXiv 2211.00213).
+
+    Identical to :func:`poisson_arrivals` except every arriving peer's
+    ``seeding_time`` is forced to ``0.0`` — it departs the instant it
+    becomes a seed, so the swarm never accumulates altruistic seeds and
+    stability rests entirely on leecher-to-leecher chunk diversity.
+    This is the regime where plain rarest first collapses into the
+    one-club / missing-piece syndrome once the arrival rate exceeds the
+    initial seed's rare-piece service rate.
+    """
+    def depart_on_completion(factory_rng: Random) -> PeerConfig:
+        return dataclasses.replace(config_factory(factory_rng), seeding_time=0.0)
+
+    return poisson_arrivals(
+        swarm,
+        rate,
+        duration,
+        depart_on_completion,
+        rng=rng,
+        start=start,
+        kwargs_factory=kwargs_factory,
+        **add_peer_kwargs,
+    )
 
 
 def noise_peers(

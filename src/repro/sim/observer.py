@@ -99,6 +99,19 @@ class PeerObserver:
         playback offset in bytes).
         """
 
+    def on_stability(self, now: float, kind: str, data: dict) -> None:
+        """The swarm-level stability detector produced an event
+        (open-system runs only — never fires unless a
+        :class:`~repro.workloads.open_system.StabilityDetector` is
+        attached, so closed-system traces are byte-identical).
+
+        ``kind`` is ``"sample"`` (a periodic swarm-size /
+        chunk-distribution sample) or ``"finalize"`` (the end-of-run
+        summary with the stable/unstable classification).  ``data``
+        carries the detector's sample fields (``leechers``, ``seeds``,
+        ``rarest_copies``, ``mode_copies``, ``mode_pieces``, ...).
+        """
+
 
 class FanoutObserver(PeerObserver):
     """Dispatch every hook to an ordered tuple of observers.
@@ -190,3 +203,7 @@ class FanoutObserver(PeerObserver):
     def on_playback(self, now: float, kind: str, data: dict) -> None:
         for observer in self.observers:
             observer.on_playback(now, kind, data)
+
+    def on_stability(self, now: float, kind: str, data: dict) -> None:
+        for observer in self.observers:
+            observer.on_stability(now, kind, data)

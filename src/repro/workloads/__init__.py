@@ -7,6 +7,12 @@ from repro.workloads.capacities import (
     uniform_capacity,
 )
 from repro.workloads.clients import CLIENT_MIX_2005, client_share, sample_client_id
+from repro.workloads.open_system import (
+    StabilityDetector,
+    StabilitySample,
+    StabilityVerdict,
+    classify_samples,
+)
 from repro.workloads.torrents import (
     TABLE1,
     ExperimentHarness,
@@ -22,8 +28,12 @@ __all__ = [
     "CapacityDistribution",
     "ExperimentHarness",
     "INTERNET_2005",
+    "StabilityDetector",
+    "StabilitySample",
+    "StabilityVerdict",
     "TABLE1",
     "TorrentScenario",
+    "classify_samples",
     "scaled_copy",
     "build_experiment",
     "client_share",

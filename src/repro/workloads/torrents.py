@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 from random import Random
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.choke import Choker
 from repro.core.rarest_first import PieceSelector
@@ -41,6 +41,9 @@ from repro.workloads.capacities import (
     CapacityDistribution,
     INTERNET_2005,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.open_system import StabilityDetector
 
 MAX_SIMULATED_PEERS = 90
 DEFAULT_PIECE_SIZE = 256 * KIB
@@ -200,8 +203,15 @@ class ExperimentHarness:
     tracer: Optional[TracingObserver] = None
     """Structured-trace emitter for the local peer, when tracing is on."""
 
+    stability: Optional["StabilityDetector"] = None
+    """Swarm-stability sampler, attached only for open-system runs."""
+
     def run(self, duration: Optional[float] = None) -> Instrumentation:
         self.swarm.run(duration if duration is not None else self.scenario.duration)
+        if self.stability is not None:
+            # Emit the verdict before the trace finalize record so the
+            # stability summary sits inside the trace, not after it.
+            self.stability.finalize(self.swarm.simulator.now)
         self.instrumentation.finalize()
         if self.tracer is not None:
             self.tracer.finalize(self.swarm.simulator.now)
@@ -232,6 +242,10 @@ def build_experiment(
     trace_all_peers: bool = False,
     playback_rate: Optional[float] = None,
     playback_startup_pieces: Optional[int] = None,
+    depart_on_completion: bool = False,
+    flash_crowd_size: int = 0,
+    flash_crowd_spread: float = 60.0,
+    stability_interval: Optional[float] = None,
 ) -> ExperimentHarness:
     """Materialise one Table-I scenario into a runnable experiment.
 
@@ -259,6 +273,17 @@ def build_experiment(
     playback-aware ``local_selector``/``population_selector_factory``
     (``seq-window``, ``pfs``) to study streaming-friendly selection;
     left at None the run is byte-identical to a non-streaming one.
+
+    ``depart_on_completion`` turns the run into an *open system*: every
+    population leecher (initial, flash-crowd and Poisson arrivals)
+    leaves the instant it completes, the regime where plain rarest first
+    has a hard stability boundary (see
+    :mod:`repro.workloads.open_system`).  ``flash_crowd_size`` adds a
+    torrent-birth burst of that many extra leechers inside the first
+    ``flash_crowd_spread`` seconds.  ``stability_interval`` attaches a
+    :class:`~repro.workloads.open_system.StabilityDetector` sampling the
+    swarm every that-many seconds; left at None (the default) no
+    detector exists and traces are byte-identical to earlier runs.
     """
     capacities = capacities or INTERNET_2005
     client_rng = Random(seed ^ 0xC11E)
@@ -297,10 +322,13 @@ def build_experiment(
             kwargs["playback_rate"] = playback_rate
             if playback_startup_pieces is not None:
                 kwargs["playback_startup_pieces"] = playback_startup_pieces
+        seeding_time = rng.expovariate(1.0 / 400.0)
+        if depart_on_completion:
+            seeding_time = 0.0
         return PeerConfig(
             upload_capacity=upload,
             download_capacity=download,
-            seeding_time=rng.expovariate(1.0 / 400.0),
+            seeding_time=seeding_time,
             client_id=client_id,
             **kwargs,
         )
@@ -365,10 +393,26 @@ def build_experiment(
             seed_choker=FreeRiderChoker(),
         )
 
-    if scenario.arrival_rate > 0:
-        from repro.sim.churn import poisson_arrivals
+    if flash_crowd_size > 0:
+        from repro.sim.churn import flash_crowd
 
-        poisson_arrivals(
+        flash_crowd(
+            swarm,
+            flash_crowd_size,
+            config_factory=lambda r: leecher_config(*capacities.sample(r)),
+            rng=Random(seed ^ 0xF1A5),
+            spread=flash_crowd_spread,
+            kwargs_factory=remote_kwargs,
+        )
+
+    if scenario.arrival_rate > 0:
+        from repro.sim.churn import open_system_arrivals, poisson_arrivals
+
+        # leecher_config already pins seeding_time to 0 in open systems;
+        # open_system_arrivals re-asserts it so ad-hoc config factories
+        # can't reintroduce lingering seeds.
+        arrivals = open_system_arrivals if depart_on_completion else poisson_arrivals
+        arrivals(
             swarm,
             scenario.arrival_rate,
             scenario.duration + scenario.local_join_time,
@@ -399,6 +443,15 @@ def build_experiment(
                 else local_config.playback_startup_pieces
             ),
         )
+    stability = None
+    if stability_interval is not None:
+        from repro.workloads.open_system import StabilityDetector
+
+        stability = StabilityDetector(
+            interval=stability_interval, observer=local_observer
+        )
+        stability.attach(swarm)
+
     local_holder: Dict[str, Peer] = {}
 
     def add_local() -> None:
@@ -420,6 +473,7 @@ def build_experiment(
         local_peer=local_holder["peer"],
         instrumentation=instrumentation,
         tracer=tracer,
+        stability=stability,
     )
 
 

@@ -26,6 +26,7 @@ needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
 #: parameterised ones), as make_selector specs.
 ALL_SELECTOR_SPECS = [
     "rarest-first",
+    "mode-suppression:suppression=0.7",
     "random",
     "sequential",
     "seq-window:window=6",

@@ -163,7 +163,8 @@ class TestProportionalFair:
 class TestSelectorRegistry:
     def test_registry_covers_builtins(self):
         assert set(SELECTOR_REGISTRY) == {
-            "rarest-first", "random", "sequential", "seq-window", "pfs"
+            "rarest-first", "random", "sequential", "seq-window", "pfs",
+            "mode-suppression",
         }
         assert DEFAULT_SELECTOR_SPEC in SELECTOR_REGISTRY
 
