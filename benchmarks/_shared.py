@@ -42,7 +42,6 @@ from repro.campaign import (
     execute_shard,
 )
 from repro.instrumentation import Instrumentation, TraceRecorder
-from repro.instrumentation.replay import replay_instrumentation
 from repro.workloads import TorrentScenario, build_experiment, scenario_by_id
 
 RESULTS_DIR = Path(__file__).parent / "results"

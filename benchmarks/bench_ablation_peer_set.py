@@ -11,8 +11,6 @@ initiated).  Reported: graph diameter / average path length, entropy,
 and download times.
 """
 
-from random import Random
-
 from repro.analysis import summarize_entropy
 from repro.analysis.graph import graph_stats, swarm_graph
 from repro.instrumentation import Instrumentation

@@ -266,10 +266,13 @@ def run_once(
         else:
             recorder = TraceRecorder()
         if trace == "all":
-            factory = lambda: TracingObserver(recorder)
+            def factory():
+                return TracingObserver(recorder)
         else:
             observers = iter([TracingObserver(recorder)])
-            factory = lambda: next(observers, None)
+
+            def factory():
+                return next(observers, None)
     swarm = build_swarm(
         leechers, pieces, seed, use_rarity_index, factory, extra,
         selector_spec=selector_spec, playback_rate=playback_rate,

@@ -1,0 +1,299 @@
+"""Tracker announce-throughput benchmark: announces/sec by sampler and shards.
+
+Measures the :class:`repro.tracker.service.TrackerService` engine — the
+shared core behind the in-process tracker and the live announce server —
+under a synthetic announce load of one million announces per full run
+(``--quick`` scales it down).  Four configurations run on the same seed:
+
+- ``uniform-s1``      — uniform sampling, a single shard: the reference
+  configuration every other row is machine-normalised against by
+  ``check_regression.py --kind tracker``;
+- ``uniform-s8``      — uniform sampling over eight shards (the default
+  service shape, O(num_want) per announce);
+- ``seed-biased-s8``  — the seed/leecher split sampler;
+- ``rarity-aware-s8`` — Efraimidis–Sampelis weighted sampling, O(n log k)
+  per announce, so it carries a proportionally smaller announce share.
+
+The announce loop goes through the *wire-caller* path (no caller RNG, so
+every request pays the per-request RNG derivation) with a mixed event
+stream: a registration ramp, keep-alives, completions and departures,
+across 16 swarms.  That is the load profile the standalone server sees.
+
+The run also performs a Fig. 5-style peer-set check (paper §IV-B:
+peer-set properties under tracker sampling): on a 400-peer swarm with an
+80-seed population, 200 sampled announces must (a) return exactly
+``num_want`` peers, (b) never contain the requester, (c) cover nearly
+the whole population across requests, and (d) — for the uniform sampler
+— reproduce the population's seed fraction within a tolerance, i.e.
+random peer-set formation survives sampling unbiased.  The benchmark
+exits non-zero if any check fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracker.py --output fresh.json
+    python benchmarks/check_regression.py --kind tracker --fresh fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.tracker.sampling import make_sampler  # noqa: E402
+from repro.tracker.service import AnnounceRequest, TrackerService  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_tracker.json"
+
+#: (report key, sampler spec, shard count, share of the announce load).
+#: Shares sum to 1.0; rarity-aware is O(swarm size) per announce and
+#: gets a smaller slice so a full run stays near a minute.
+CONFIGS = (
+    ("uniform-s1", "uniform", 1, 0.35),
+    ("uniform-s8", "uniform", 8, 0.35),
+    ("seed-biased-s8", "seed-biased:seed_fraction=0.5", 8, 0.20),
+    ("rarity-aware-s8", "rarity-aware:bias=1.0", 8, 0.10),
+)
+
+TOTAL_ANNOUNCES = 1_000_000
+NUM_SWARMS = 16
+PEERS_PER_SWARM = 500
+NUM_WANT = 25
+SEED_FRACTION = 0.2
+
+
+def _infohashes(count: int):
+    return [hashlib.sha1(b"bench-swarm-%d" % i).digest() for i in range(count)]
+
+
+class _Clock:
+    """Deterministic monotonic clock advancing a fixed step per call."""
+
+    __slots__ = ("now", "step")
+
+    def __init__(self, step: float = 0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def run_config(name: str, sampler_spec: str, shards: int, announces: int) -> dict:
+    """Drive one service configuration through the synthetic load."""
+    clock = _Clock()
+    service = TrackerService(
+        clock, seed=42, num_shards=shards, sampler=make_sampler(sampler_spec)
+    )
+    infohashes = _infohashes(NUM_SWARMS)
+    requests = []
+    # Registration ramp: populate every swarm first (these announces
+    # count toward the measured load — a real tracker pays them too).
+    for index in range(NUM_SWARMS * PEERS_PER_SWARM):
+        swarm = index % NUM_SWARMS
+        requests.append(
+            AnnounceRequest(
+                infohash=infohashes[swarm],
+                address="10.%d.%d.%d:6881"
+                % (swarm, index // 250 % 256, index % 250 + 1),
+                event="started",
+                num_want=NUM_WANT,
+                is_seed=(index // NUM_SWARMS) % 5 == 0,  # 20% seeds
+                have_count=(index * 7) % 100,
+            )
+        )
+    # Steady-state mix: keep-alives with sprinkled completions/departures.
+    index = 0
+    while len(requests) < announces:
+        swarm = index % NUM_SWARMS
+        peer = index % (NUM_SWARMS * PEERS_PER_SWARM)
+        event = ""
+        if index % 97 == 0:
+            event = "completed"
+        elif index % 89 == 0:
+            event = "stopped"
+        requests.append(
+            AnnounceRequest(
+                infohash=infohashes[swarm],
+                address="10.%d.%d.%d:6881"
+                % (swarm, peer // 250 % 256, peer % 250 + 1),
+                event=event,
+                num_want=0 if event == "stopped" else NUM_WANT,
+                is_seed=event == "completed",
+                have_count=(index * 11) % 100,
+            )
+        )
+        index += 1
+    requests = requests[:announces]
+
+    peers_returned = 0
+    started = time.perf_counter()
+    announce = service.announce  # hot-loop binding
+    for request in requests:
+        peers_returned += len(announce(request).peers)
+    wall = time.perf_counter() - started
+    stats = service.stats()
+    return {
+        "sampler": sampler_spec,
+        "shards": shards,
+        "announces": len(requests),
+        "wall_seconds": round(wall, 4),
+        "announces_per_second": round(len(requests) / wall, 1),
+        "peers_returned": peers_returned,
+        "swarms": stats["swarms"],
+        "registered_peers": stats["peers"],
+    }
+
+
+def fig5_peer_set_check() -> dict:
+    """Peer-set properties under sampling (paper §IV-B / Fig. 5 shape).
+
+    The paper's Fig. 5 argument rests on the tracker handing each peer
+    a *uniform random* subset of the swarm, which is what keeps peer
+    sets well connected and diverse.  This check pins the properties
+    that argument needs, per sampler.
+    """
+    population = 400
+    seeds = int(population * SEED_FRACTION)
+    num_want = 50
+    requesters = 200
+    report = {}
+    failures = []
+    for name, spec in (
+        ("uniform", "uniform"),
+        ("seed-biased", "seed-biased:seed_fraction=0.5"),
+        ("rarity-aware", "rarity-aware:bias=1.0"),
+    ):
+        clock = _Clock()
+        service = TrackerService(
+            clock, seed=7, num_shards=4, sampler=make_sampler(spec)
+        )
+        infohash = hashlib.sha1(b"fig5-swarm").digest()
+        addresses = []
+        for index in range(population):
+            address = "10.0.%d.%d:6881" % (index // 250, index % 250 + 1)
+            addresses.append(address)
+            service.announce(
+                AnnounceRequest(
+                    infohash=infohash,
+                    address=address,
+                    event="started",
+                    num_want=0,
+                    is_seed=index < seeds,
+                    have_count=100 if index < seeds else index % 100,
+                )
+            )
+        covered = set()
+        sizes = []
+        seed_share = []
+        seed_set = set(addresses[:seeds])
+        for address in addresses[:requesters]:
+            result = service.announce(
+                AnnounceRequest(
+                    infohash=infohash,
+                    address=address,
+                    event="",
+                    num_want=num_want,
+                    is_seed=address in seed_set,
+                )
+            )
+            sizes.append(len(result.peers))
+            covered.update(result.peers)
+            seed_share.append(
+                sum(1 for peer in result.peers if peer in seed_set) / num_want
+            )
+            if address in result.peers:
+                failures.append("%s: requester returned to itself" % name)
+        coverage = len(covered) / population
+        mean_seed_share = sum(seed_share) / len(seed_share)
+        checks = {
+            "full_num_want": all(size == num_want for size in sizes),
+            # 200 draws of 50 from 400 leave an unseen peer with
+            # probability (1 - 50/400)^200 ~ 3e-12 under uniformity.
+            "coverage_ok": coverage > 0.98,
+        }
+        if name == "uniform":
+            # Population seed fraction must survive sampling: 20% +- 3pp
+            # over 10k sampled slots.
+            checks["seed_fraction_unbiased"] = (
+                abs(mean_seed_share - SEED_FRACTION) < 0.03
+            )
+        if name == "seed-biased":
+            checks["seed_fraction_boosted"] = mean_seed_share > SEED_FRACTION + 0.1
+        report[name] = {
+            "coverage": round(coverage, 4),
+            "mean_seed_share": round(mean_seed_share, 4),
+            "checks": checks,
+        }
+        for check, ok in checks.items():
+            if not ok:
+                failures.append("%s: %s failed" % (name, check))
+    report["passed"] = not failures
+    report["failures"] = failures
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="1/10th of the announce load (smoke runs; baselines are full)",
+    )
+    parser.add_argument(
+        "--announces", type=int, default=None,
+        help="override the total announce load (default %d)" % TOTAL_ANNOUNCES,
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT, help="report path (JSON)"
+    )
+    args = parser.parse_args(argv)
+
+    total = args.announces or TOTAL_ANNOUNCES
+    if args.quick and args.announces is None:
+        total //= 10
+
+    report = {
+        "benchmark": "tracker_throughput",
+        "python": platform.python_version(),
+        "seed": 42,
+        "quick": bool(args.quick),
+        "total_announces": 0,
+        "configs": {},
+    }
+    for name, spec, shards, share in CONFIGS:
+        announces = int(total * share)
+        print(
+            "%-16s %-32s %d shards, %d announces ..."
+            % (name, spec, shards, announces),
+            file=sys.stderr,
+        )
+        entry = run_config(name, spec, shards, announces)
+        report["configs"][name] = entry
+        report["total_announces"] += entry["announces"]
+        print(
+            "%-16s %12.1f announces/s" % (name, entry["announces_per_second"]),
+            file=sys.stderr,
+        )
+
+    print("fig5 peer-set-under-sampling check ...", file=sys.stderr)
+    report["fig5_peer_set"] = fig5_peer_set_check()
+    print(
+        "fig5 check: %s" % ("ok" if report["fig5_peer_set"]["passed"] else "FAILED"),
+        file=sys.stderr,
+    )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print("wrote %s (%d announces)" % (args.output, report["total_announces"]))
+    return 0 if report["fig5_peer_set"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

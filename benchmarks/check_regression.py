@@ -1,10 +1,15 @@
-"""Benchmark-regression gate for the engine-throughput numbers.
+"""Benchmark-regression gate for the engine and tracker throughput numbers.
 
-Compares a freshly measured ``bench_engine_throughput.py`` report
-against the committed baseline (``BENCH_engine_throughput.json`` at the
-repository root) and exits non-zero when a gated hot path — the
-``indexed`` picker path or the ``fast`` mega-swarm engine path —
-regressed by more than the tolerance (default 25%).
+Compares a freshly measured report against its committed baseline at the
+repository root and exits non-zero when a gated hot path regressed by
+more than the tolerance (default 25%).  Two kinds of report are gated:
+
+- ``--kind engine`` (default): ``bench_engine_throughput.py`` against
+  ``BENCH_engine_throughput.json`` — the ``indexed`` picker path and the
+  ``fast`` mega-swarm engine path;
+- ``--kind tracker``: ``bench_tracker.py`` against ``BENCH_tracker.json``
+  — announces/sec of the sharded/sampler configurations, normalised by
+  the single-shard uniform reference row.
 
 Raw events/sec are not comparable across machines, so the gate
 normalises by the *naive* path first: all paths execute the identical
@@ -30,6 +35,9 @@ Usage (CI runs exactly this)::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
         --output fresh.json
     python benchmarks/check_regression.py --fresh fresh.json
+
+    PYTHONPATH=src python benchmarks/bench_tracker.py --output fresh.json
+    python benchmarks/check_regression.py --kind tracker --fresh fresh.json
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_engine_throughput.json"
+DEFAULT_TRACKER_BASELINE = REPO_ROOT / "BENCH_tracker.json"
 DEFAULT_TOLERANCE = 0.25
 
 
@@ -48,6 +57,11 @@ DEFAULT_TOLERANCE = 0.25
 #: tier, so only the "xlarge" mega-swarm tier (which has no naive run —
 #: the reference path is far too slow at 1001 peers) is exempt.
 GATED_LABELS = ("indexed", "fast")
+
+#: Tracker configurations gated by ``--kind tracker``, normalised by the
+#: single-shard uniform row (the machine-speed reference).
+TRACKER_REFERENCE = "uniform-s1"
+GATED_TRACKER_LABELS = ("uniform-s8", "seed-biased-s8", "rarity-aware-s8")
 
 
 def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
@@ -88,15 +102,62 @@ def compare(fresh: dict, baseline: dict, tolerance: float) -> list:
     return rows
 
 
+def compare_tracker(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """One comparison row per gated tracker configuration in both
+    reports, machine-normalised by the shared reference row."""
+    base_ref = (
+        baseline.get("configs", {})
+        .get(TRACKER_REFERENCE, {})
+        .get("announces_per_second")
+    )
+    new_ref = (
+        fresh.get("configs", {})
+        .get(TRACKER_REFERENCE, {})
+        .get("announces_per_second")
+    )
+    if not base_ref or not new_ref:
+        return []
+    machine_factor = new_ref / base_ref
+    rows = []
+    for label in GATED_TRACKER_LABELS:
+        base = baseline.get("configs", {}).get(label)
+        new = fresh.get("configs", {}).get(label)
+        if base is None or new is None:
+            continue
+        base_aps = base["announces_per_second"]
+        new_aps = new["announces_per_second"]
+        if not base_aps or not new_aps:
+            continue
+        normalised = new_aps / machine_factor
+        ratio = normalised / base_aps
+        rows.append(
+            {
+                "swarm": "tracker",
+                "label": label,
+                "baseline_eps": base_aps,
+                "fresh_eps": new_aps,
+                "machine_factor": machine_factor,
+                "normalised_eps": normalised,
+                "ratio": ratio,
+                "regressed": ratio < 1.0 - tolerance,
+            }
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--fresh", type=Path, required=True,
-        help="freshly measured report (bench_engine_throughput.py --output)",
+        "--kind", choices=["engine", "tracker"], default="engine",
+        help="which benchmark report to gate (default: engine)",
     )
     parser.add_argument(
-        "--baseline", type=Path, default=DEFAULT_BASELINE,
-        help="committed baseline report (default: repo root)",
+        "--fresh", type=Path, required=True,
+        help="freshly measured report (bench_*.py --output)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="committed baseline report (default: repo root, by kind)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -104,6 +165,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.baseline is None:
+        args.baseline = (
+            DEFAULT_TRACKER_BASELINE if args.kind == "tracker" else DEFAULT_BASELINE
+        )
     fresh = json.loads(args.fresh.read_text())
     baseline = json.loads(args.baseline.read_text())
     if fresh.get("quick") != baseline.get("quick"):
@@ -113,9 +178,12 @@ def main(argv=None) -> int:
             % (fresh.get("quick"), baseline.get("quick")),
             file=sys.stderr,
         )
-    rows = compare(fresh, baseline, args.tolerance)
+    if args.kind == "tracker":
+        rows = compare_tracker(fresh, baseline, args.tolerance)
+    else:
+        rows = compare(fresh, baseline, args.tolerance)
     if not rows:
-        print("no comparable swarm entries between fresh and baseline",
+        print("no comparable entries between fresh and baseline",
               file=sys.stderr)
         return 2
 
@@ -143,12 +211,15 @@ def main(argv=None) -> int:
             regressed.append("%s/%s" % (row["swarm"], row["label"]))
     if regressed:
         print(
-            "engine hot path regressed > %.0f%% on: %s"
-            % (args.tolerance * 100.0, ", ".join(regressed)),
+            "%s hot path regressed > %.0f%% on: %s"
+            % (args.kind, args.tolerance * 100.0, ", ".join(regressed)),
             file=sys.stderr,
         )
         return 1
-    print("engine hot paths within %.0f%% of baseline" % (args.tolerance * 100.0))
+    print(
+        "%s hot paths within %.0f%% of baseline"
+        % (args.kind, args.tolerance * 100.0)
+    )
     return 0
 
 

@@ -155,6 +155,8 @@ def execute_shard(
         strategy_kwargs["flash_crowd_size"] = shard.flash_crowd_size
     if shard.stability_interval is not None:
         strategy_kwargs["stability_interval"] = shard.stability_interval
+    if shard.tracker_sampler is not None:
+        strategy_kwargs["tracker_sampler"] = shard.tracker_sampler
 
     trace_tmp = cache.trace_tmp_path(key) if cache is not None else None
     recorder = TraceRecorder(str(trace_tmp) if trace_tmp is not None else None)

@@ -84,6 +84,12 @@ class ScenarioVariant:
     seconds; None (the default) attaches nothing and leaves traces
     byte-identical to pre-open-system campaigns."""
 
+    tracker_sampler: Optional[str] = None
+    """Tracker peer-sampling strategy spec
+    (:func:`repro.tracker.sampling.make_sampler` syntax, e.g.
+    ``"rarity-aware:bias=1.0"``).  None keeps the uniform default and
+    the shard's historical trace."""
+
 
 #: The scenario registry.  ``paper`` is the evaluation as published;
 #: ``smoke`` is the same swarm on a short window (CI and tests);
@@ -178,6 +184,7 @@ class ShardSpec:
     depart_on_completion: bool = False
     flash_crowd_size: Optional[int] = None
     stability_interval: Optional[float] = None
+    tracker_sampler: Optional[str] = None
 
     @property
     def shard_id(self) -> str:
@@ -220,6 +227,8 @@ class ShardSpec:
             payload["flash_crowd_size"] = self.flash_crowd_size
         if self.stability_interval is not None:
             payload["stability_interval"] = self.stability_interval
+        if self.tracker_sampler is not None:
+            payload["tracker_sampler"] = self.tracker_sampler
         return payload
 
     @classmethod
@@ -242,6 +251,7 @@ class ShardSpec:
             depart_on_completion=payload.get("depart_on_completion", False),
             flash_crowd_size=payload.get("flash_crowd_size"),
             stability_interval=payload.get("stability_interval"),
+            tracker_sampler=payload.get("tracker_sampler"),
         )
 
 
@@ -265,6 +275,7 @@ class CampaignSpec:
     playback_rate: Optional[float] = None
     arrival_rate: Optional[float] = None
     seed_upload: Optional[float] = None
+    tracker_sampler: Optional[str] = None
 
     def describe(self) -> dict:
         return {
@@ -279,6 +290,7 @@ class CampaignSpec:
             "playback_rate": self.playback_rate,
             "arrival_rate": self.arrival_rate,
             "seed_upload": self.seed_upload,
+            "tracker_sampler": self.tracker_sampler,
         }
 
 
@@ -298,11 +310,20 @@ def expand_spec(
     """
     from repro.core.rarest_first import parse_selector_spec
 
+    from repro.tracker.sampling import parse_sampler_spec
+
     for selector_spec in {spec.selector} | {
         SCENARIOS[name].selector for name in spec.scenarios if name in SCENARIOS
     }:
         if selector_spec is not None:
             parse_selector_spec(selector_spec)
+    for sampler_spec in {spec.tracker_sampler} | {
+        SCENARIOS[name].tracker_sampler
+        for name in spec.scenarios
+        if name in SCENARIOS
+    }:
+        if sampler_spec is not None:
+            parse_sampler_spec(sampler_spec)
     shards: List[ShardSpec] = []
     for torrent_id in spec.torrent_ids:
         for scenario in spec.scenarios:
@@ -357,6 +378,11 @@ def expand_spec(
                     depart_on_completion=variant.depart_on_completion,
                     flash_crowd_size=variant.flash_crowd_size,
                     stability_interval=variant.stability_interval,
+                    tracker_sampler=(
+                        spec.tracker_sampler
+                        if spec.tracker_sampler is not None
+                        else variant.tracker_sampler
+                    ),
                 )
                 if shard_filter and not _matches(shard.shard_id, shard_filter):
                     continue

@@ -184,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--playback-rate", type=float, default=None, metavar="BYTES_PER_S",
         help="override every shard's streaming playback rate",
     )
+    campaign_run.add_argument(
+        "--tracker-sampler", default=None, metavar="SPEC",
+        help="override every shard's tracker peer-sampling strategy "
+        "(see 'repro run --tracker-sampler')",
+    )
     campaign_run.add_argument("--replicates", type=int, default=1)
     campaign_run.add_argument(
         "--campaign-seed", type=int, default=3,
@@ -299,6 +304,51 @@ def build_parser() -> argparse.ArgumentParser:
         "(seed_departure_rate = inf, overrides --seed-stay)",
     )
 
+    tracker_parser = commands.add_parser(
+        "tracker", help="run the standalone announce server"
+    )
+    tracker_commands = tracker_parser.add_subparsers(
+        dest="tracker_command", required=True
+    )
+    tracker_serve = tracker_commands.add_parser(
+        "serve",
+        help="serve announces over HTTP-style TCP and UDP datagrams",
+    )
+    tracker_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    tracker_serve.add_argument(
+        "--port", type=int, default=6969, help="HTTP announce port (0 = ephemeral)"
+    )
+    tracker_serve.add_argument(
+        "--udp-port", type=int, default=None,
+        help="UDP announce port (default: same as --port; 0 = ephemeral)",
+    )
+    tracker_serve.add_argument(
+        "--shards", type=int, default=8, help="swarm-store shard count"
+    )
+    tracker_serve.add_argument(
+        "--sampler", default="uniform", metavar="SPEC",
+        help="peer-sampling strategy: uniform, "
+        "'seed-biased:seed_fraction=0.5', 'rarity-aware:bias=1.0'",
+    )
+    tracker_serve.add_argument(
+        "--seed", type=int, default=0,
+        help="service seed for per-request RNG derivation",
+    )
+    tracker_serve.add_argument(
+        "--interval", type=float, default=None,
+        help="announce interval handed to clients (seconds; default 1800)",
+    )
+    tracker_serve.add_argument(
+        "--announce-budget", type=float, default=None, metavar="PER_SECOND",
+        help="load-shedding budget in announces/second (default: unlimited)",
+    )
+    tracker_serve.add_argument(
+        "--stats-interval", type=float, default=60.0,
+        help="seconds between stats lines on stderr (0 = never)",
+    )
+
     stability_parser = commands.add_parser(
         "stability",
         help="open-system stability phase diagram, sim cross-validated "
@@ -379,6 +429,11 @@ def _experiment_arguments(parser: argparse.ArgumentParser) -> None:
         "--playback-startup-pieces", type=int, default=None, metavar="N",
         help="contiguous pieces buffered before playback starts (default 2)",
     )
+    parser.add_argument(
+        "--tracker-sampler", default=None, metavar="SPEC",
+        help="tracker peer-sampling strategy: uniform (default), "
+        "'seed-biased:seed_fraction=0.5', 'rarity-aware:bias=1.0'",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -394,6 +449,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "net": _cmd_net,
         "campaign": _cmd_campaign,
         "stability": _cmd_stability,
+        "tracker": _cmd_tracker,
     }[args.command]
     return handler(args)
 
@@ -467,6 +523,10 @@ def _build_harness(args: argparse.Namespace, trace_recorder=None):
         print(
             "streaming playback: %.0f B/s" % playback_rate, file=sys.stderr
         )
+    tracker_sampler = getattr(args, "tracker_sampler", None)
+    if tracker_sampler is not None:
+        strategy_kwargs["tracker_sampler"] = tracker_sampler
+        print("tracker sampler: %s" % tracker_sampler, file=sys.stderr)
     return build_experiment(
         scenario,
         seed=args.seed,
@@ -703,6 +763,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         duration=args.duration,
         selector=args.selector,
         playback_rate=args.playback_rate,
+        tracker_sampler=args.tracker_sampler,
     )
     runner = CampaignRunner(
         spec,
@@ -890,6 +951,79 @@ def _cmd_stability(args: argparse.Namespace) -> int:
         print("wrote %s" % args.output)
     classified = agreement["classified"]
     return 0 if classified and agreement["agreeing"] == classified else 1
+
+
+def _cmd_tracker(args: argparse.Namespace) -> int:
+    """``repro tracker serve``: the standalone announce server."""
+    import asyncio
+    import time
+
+    from repro.tracker.service import AnnounceBudget, TrackerService
+    from repro.tracker.server import TrackerServer
+
+    budget = None
+    if args.announce_budget is not None:
+        budget = AnnounceBudget(announces_per_second=args.announce_budget)
+    service_kwargs = {
+        "seed": args.seed,
+        "num_shards": args.shards,
+        "budget": budget,
+    }
+    if args.interval is not None:
+        service_kwargs["interval"] = args.interval
+    service = TrackerService.from_spec(
+        time.monotonic, sampler_spec=args.sampler, **service_kwargs
+    )
+    udp_port = args.udp_port if args.udp_port is not None else args.port
+
+    async def serve() -> None:
+        server = TrackerServer(
+            service, host=args.host, http_port=args.port, udp_port=udp_port
+        )
+        await server.start()
+        print(
+            "tracker serving on http://%s:%d/announce and udp://%s:%d "
+            "(%d shards, %s sampler%s)"
+            % (
+                args.host,
+                server.http_port,
+                args.host,
+                server.udp_port,
+                args.shards,
+                service.sampler.spec(),
+                ", budget %.0f ann/s" % args.announce_budget
+                if budget is not None
+                else "",
+            ),
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                await asyncio.sleep(
+                    args.stats_interval if args.stats_interval > 0 else 3600.0
+                )
+                if args.stats_interval > 0:
+                    stats = service.stats()
+                    print(
+                        "stats: %d announces (%d shed, %d rejected), "
+                        "%d swarms, %d peers"
+                        % (
+                            stats["announces"],
+                            stats["shed"],
+                            stats["rejected"],
+                            stats["swarms"],
+                            stats["peers"],
+                        ),
+                        file=sys.stderr,
+                    )
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("tracker stopped", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -197,6 +197,11 @@ class Instrumentation(PeerObserver):
         :class:`~repro.workloads.open_system.StabilityDetector` is
         attached): every on_stability event, feeding the open-system
         stable/unstable classifier in :mod:`repro.analysis.stability`."""
+        self.announce_events: List[Tuple[float, str, dict]] = []
+        """Tracker-announce events (empty unless
+        ``SwarmConfig.trace_announces`` is set): one entry per
+        successful announce, plus ``announce.<kind>`` counters in
+        :attr:`metrics`."""
         self.metrics = MetricsRegistry()
         """Counter/gauge/histogram registry fed by the hooks; the
         compatibility views :attr:`messages_sent`,
@@ -446,6 +451,10 @@ class Instrumentation(PeerObserver):
 
     def on_stability(self, now: float, kind: str, data: dict) -> None:
         self.stability_events.append((now, kind, dict(data)))
+
+    def on_announce(self, now: float, kind: str, data: dict) -> None:
+        self.announce_events.append((now, kind, dict(data)))
+        self.metrics.inc("announce." + kind)
 
     def on_playback(self, now: float, kind: str, data: dict) -> None:
         self.playback_events.append((now, kind, dict(data)))

@@ -399,6 +399,8 @@ def replay_instrumentation(
             instrumentation.on_playback(now, event["kind"], event["data"])
         elif kind == "stability":
             instrumentation.on_stability(now, event["kind"], event["data"])
+        elif kind == "announce":
+            instrumentation.on_announce(now, event["kind"], event["data"])
         elif kind == "finalize":
             _apply_open_entries(event["open"], stub, open_connections)
             stub.joined_at = event["joined_at"]

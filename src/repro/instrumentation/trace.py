@@ -486,6 +486,17 @@ class TracingObserver(PeerObserver):
             }
         )
 
+    def on_announce(self, now: float, kind: str, data: dict) -> None:
+        self.recorder.emit(
+            {
+                "t": now,
+                "type": "announce",
+                "peer": self._addr,
+                "kind": kind,
+                "data": dict(data),
+            }
+        )
+
     def on_snapshot(self, now: float, snapshot) -> None:
         self.recorder.emit(
             {

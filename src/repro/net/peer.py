@@ -229,11 +229,15 @@ class NetPeer:
         assert self.address is not None, "start() must run before join()"
         self.online = True
         self.joined_at = self.simulator.now
+        # Sample through this peer's own seeded RNG: live peers announce
+        # in wall-clock order, and a shared tracker stream would let that
+        # ordering perturb every subsequent peer's sample.
         addresses = self.tracker.announce(
             self.address,
             event="started",
             num_want=num_want if num_want is not None else self.config.max_peer_set,
             is_seed=self._seed,
+            rng=self.rng,
         )
         dialed = 0
         for remote_address in addresses:
@@ -279,7 +283,11 @@ class NetPeer:
         if self.joined_at is not None:
             try:
                 self.tracker.announce(
-                    self.address, event="stopped", num_want=0, is_seed=self._seed
+                    self.address,
+                    event="stopped",
+                    num_want=0,
+                    is_seed=self._seed,
+                    rng=self.rng,
                 )
             except Exception:
                 pass
@@ -718,7 +726,11 @@ class NetPeer:
             self.observer.on_seed_state(now)
         try:
             self.tracker.announce(
-                self.address, event="completed", num_want=0, is_seed=True
+                self.address,
+                event="completed",
+                num_want=0,
+                is_seed=True,
+                rng=self.rng,
             )
         except Exception:
             pass

@@ -155,7 +155,21 @@ class FaultConfig:
     tracker_outages: tuple = ()
     """``(start, duration)`` windows (simulated seconds) during which
     every tracker announce fails with
-    :class:`~repro.tracker.tracker.TrackerUnavailable`."""
+    :class:`~repro.tracker.tracker.TrackerUnavailable`.  With
+    :attr:`tracker_replicas` > 1 these windows apply to replica 0 only
+    (the established single-tracker contract); use
+    :attr:`replica_outages` to down other replicas."""
+
+    tracker_replicas: int = 1
+    """Number of outage-independent tracker frontends sharing one swarm
+    registry.  1 (default) keeps the plain single
+    :class:`~repro.tracker.tracker.Tracker`; >1 swaps in a
+    :class:`~repro.tracker.federation.TrackerFederation` whose announce
+    walks replicas in fixed tier order, failing over past downed ones."""
+
+    replica_outages: tuple = ()
+    """``(replica, start, duration)`` outage windows for individual
+    federation replicas.  Requires ``replica < tracker_replicas``."""
 
     announce_retry_base: float = 5.0
     """First announce-retry delay; doubles per failed attempt."""
@@ -204,6 +218,17 @@ class FaultConfig:
             start, duration = window
             if start < 0 or duration <= 0:
                 raise ValueError("outage windows need start >= 0, duration > 0")
+        if self.tracker_replicas < 1:
+            raise ValueError("tracker_replicas must be >= 1")
+        for window in self.replica_outages:
+            replica, start, duration = window
+            if not 0 <= replica < self.tracker_replicas:
+                raise ValueError(
+                    "replica_outages index %d outside 0..%d"
+                    % (replica, self.tracker_replicas - 1)
+                )
+            if start < 0 or duration <= 0:
+                raise ValueError("outage windows need start >= 0, duration > 0")
 
     @property
     def enabled(self) -> bool:
@@ -215,6 +240,8 @@ class FaultConfig:
             or self.crash_probability > 0
             or self.hash_failure_rate > 0
             or self.tracker_outages
+            or self.tracker_replicas > 1
+            or self.replica_outages
         )
 
 
@@ -230,6 +257,18 @@ class SwarmConfig:
     """Peers returned per tracker announce (paper §II-B)."""
 
     announce_interval: float = TRACKER_ANNOUNCE_SECONDS
+
+    tracker_sampler: Optional[str] = None
+    """Peer-sampling strategy spec for the tracker
+    (``"uniform"`` / ``"seed-biased[:seed_fraction=f]"`` /
+    ``"rarity-aware[:bias=b]"``; see
+    :func:`repro.tracker.sampling.make_sampler`).  None keeps the
+    default uniform sampler with zero behaviour change."""
+
+    trace_announces: bool = False
+    """Emit per-announce observer events (``on_announce``) carrying the
+    event type, peers returned and swarm occupancy.  Off (default) the
+    simulation is byte-identical to a build without the hook."""
 
     seed: int = 42
     """Root RNG seed; every stochastic choice in a run derives from it."""

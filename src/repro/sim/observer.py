@@ -112,6 +112,18 @@ class PeerObserver:
         ``rarest_copies``, ``mode_copies``, ``mode_pieces``, ...).
         """
 
+    def on_announce(self, now: float, kind: str, data: dict) -> None:
+        """The peer completed a tracker announce (announce-tracing runs
+        only — never fires unless ``SwarmConfig.trace_announces`` is
+        set, so default traces are byte-identical).
+
+        ``kind`` is the announce event (``"started"``, ``"stopped"``,
+        ``"completed"``) or ``"interval"`` for the periodic keep-alive.
+        ``data`` carries ``peer`` (the announcing address),
+        ``num_want``, ``returned`` (peers handed back) and ``attempt``
+        (>0 when the announce succeeded only after outage retries).
+        """
+
 
 class FanoutObserver(PeerObserver):
     """Dispatch every hook to an ordered tuple of observers.
@@ -207,3 +219,7 @@ class FanoutObserver(PeerObserver):
     def on_stability(self, now: float, kind: str, data: dict) -> None:
         for observer in self.observers:
             observer.on_stability(now, kind, data)
+
+    def on_announce(self, now: float, kind: str, data: dict) -> None:
+        for observer in self.observers:
+            observer.on_announce(now, kind, data)

@@ -290,11 +290,19 @@ class Peer:
         the announce eventually succeeds."""
         now = self.simulator.now
         try:
+            # Sample through THIS peer's seeded RNG stream, not the
+            # tracker's: with a shared stream every announce perturbs
+            # every later peer's sample, so unrelated churn (or net-mode
+            # wall-clock announce ordering) ripples into RNG-sensitive
+            # runs.  Per-caller streams keep each peer's draws a pure
+            # function of its own announce sequence.
             addresses = self.swarm.tracker.announce(
                 self.address,
                 event=event,
                 num_want=num_want,
                 is_seed=self.is_seed,
+                rng=self.rng,
+                have_count=self.bitfield.count,
             )
         except TrackerUnavailable:
             plan = self.swarm.faults
@@ -314,6 +322,19 @@ class Peer:
                 lambda: self._announce(event, num_want, connect, attempt + 1),
             )
             return
+        if self.observer and self.swarm.config.trace_announces:
+            # Gated: the flag defaults off and this branch is the only
+            # cost, keeping default traces byte-identical.
+            self.observer.on_announce(
+                now,
+                event or "interval",
+                {
+                    "peer": self.address,
+                    "num_want": num_want,
+                    "returned": len(addresses),
+                    "attempt": attempt,
+                },
+            )
         if connect and self.online:
             for remote_address in addresses:
                 self._try_initiate(remote_address)

@@ -1,0 +1,194 @@
+"""Async announce clients for the live tracker tier.
+
+:func:`announce_http` and :func:`announce_udp` speak the two wire
+shapes :mod:`repro.tracker.server` serves; both return the decoded
+:class:`~repro.tracker.wire.AnnounceResponse`.  A tracker *failure
+response* (bencoded ``failure reason``, or a UDP ``error`` action)
+raises :class:`~repro.tracker.tracker.TrackerUnavailable`, so callers
+see the same exception surface as the in-process tracker.
+
+:class:`FederatedAnnouncer` walks an ordered endpoint tier (BEP 12
+announce-list semantics): each announce tries endpoints in tier order,
+first answer wins, unreachable or failing endpoints are skipped and
+counted.  The walk order is the fixed tier order, so failover is
+deterministic given which endpoints are up — the property the
+federation conformance tests assert against live servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+from urllib.parse import quote_from_bytes
+
+from repro.tracker.server import (
+    UDP_ANNOUNCE,
+    UDP_CONNECT,
+    UDP_ERROR,
+    build_udp_announce,
+    build_udp_connect,
+)
+from repro.tracker.service import AnnounceRequest
+from repro.tracker.tracker import TrackerUnavailable
+from repro.tracker.wire import AnnounceResponse, decode_announce_response, unpack_peers
+
+DEFAULT_TIMEOUT = 5.0
+
+
+def build_announce_target(request: AnnounceRequest, listen_port: int) -> str:
+    """The HTTP request target (path + query) for one announce."""
+    ip, port = request.address.rpartition(":")[0::2]
+    params = [
+        ("info_hash", quote_from_bytes(request.infohash)),
+        ("port", port or str(listen_port)),
+        ("ip", ip or "127.0.0.1"),
+        ("numwant", str(request.num_want)),
+        ("left", "0" if request.is_seed else "1"),
+    ]
+    if request.event:
+        params.append(("event", request.event))
+    if request.have_count is not None:
+        params.append(("have", str(request.have_count)))
+    return "/announce?" + "&".join("%s=%s" % kv for kv in params)
+
+
+async def announce_http(
+    host: str,
+    port: int,
+    request: AnnounceRequest,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> AnnounceResponse:
+    """One HTTP-style announce; raises on failure responses."""
+    listen_port = int(request.address.rpartition(":")[2] or 0)
+    target = build_announce_target(request, listen_port)
+
+    async def _roundtrip() -> bytes:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                b"GET %s HTTP/1.0\r\nHost: %s\r\n\r\n"
+                % (target.encode("latin-1"), host.encode())
+            )
+            await writer.drain()
+            raw = await reader.read()
+        finally:
+            writer.close()
+        return raw
+
+    raw = await asyncio.wait_for(_roundtrip(), timeout)
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise TrackerUnavailable("malformed tracker HTTP response")
+    try:
+        return decode_announce_response(body)
+    except ValueError as exc:
+        # decode_announce_response folds bencoded failure reasons into
+        # ValueError; surface them as tracker unavailability.
+        raise TrackerUnavailable(str(exc)) from exc
+
+
+class _UdpClientProtocol(asyncio.DatagramProtocol):
+    def __init__(self) -> None:
+        self.replies: asyncio.Queue = asyncio.Queue()
+
+    def connection_made(self, transport) -> None:
+        pass
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.replies.put_nowait(data)
+
+
+async def announce_udp(
+    host: str,
+    port: int,
+    request: AnnounceRequest,
+    timeout: float = DEFAULT_TIMEOUT,
+    transaction_id: int = 0x5EED,
+) -> AnnounceResponse:
+    """One UDP announce (connect handshake + announce packet)."""
+    loop = asyncio.get_event_loop()
+    transport, protocol = await loop.create_datagram_endpoint(
+        _UdpClientProtocol, remote_addr=(host, port)
+    )
+    try:
+        transport.sendto(build_udp_connect(transaction_id))
+        reply = await asyncio.wait_for(protocol.replies.get(), timeout)
+        action, tid, connection_id = struct.unpack(">iiq", reply)
+        if action != UDP_CONNECT or tid != transaction_id:
+            raise TrackerUnavailable("bad UDP connect reply")
+        listen_port = int(request.address.rpartition(":")[2] or 0)
+        transport.sendto(
+            build_udp_announce(
+                connection_id, transaction_id + 1, request, listen_port
+            )
+        )
+        reply = await asyncio.wait_for(protocol.replies.get(), timeout)
+        action, tid = struct.unpack(">ii", reply[:8])
+        if action == UDP_ERROR:
+            raise TrackerUnavailable(reply[8:].decode("utf-8", "replace"))
+        if action != UDP_ANNOUNCE or tid != transaction_id + 1:
+            raise TrackerUnavailable("bad UDP announce reply")
+        __, __, interval, leechers, seeds = struct.unpack(">iiiii", reply[:20])
+        return AnnounceResponse(
+            interval=interval,
+            complete=seeds,
+            incomplete=leechers,
+            peers=unpack_peers(reply[20:]),
+        )
+    finally:
+        transport.close()
+
+
+@dataclass(frozen=True)
+class TrackerEndpoint:
+    """One tracker in a federation tier."""
+
+    host: str
+    port: int
+    scheme: str = "http"
+    """``"http"`` or ``"udp"``."""
+
+    def __str__(self) -> str:
+        return "%s://%s:%d" % (self.scheme, self.host, self.port)
+
+
+@dataclass
+class FederatedAnnouncer:
+    """Walk an ordered tracker tier with deterministic failover."""
+
+    endpoints: List[TrackerEndpoint]
+    timeout: float = DEFAULT_TIMEOUT
+    served_by: Dict[str, int] = field(default_factory=dict)
+    failover_count: int = 0
+
+    async def announce(self, request: AnnounceRequest) -> AnnounceResponse:
+        """Try endpoints in tier order; first answer wins.
+
+        Raises :class:`TrackerUnavailable` carrying the last error when
+        every endpoint fails.
+        """
+        last_error: Optional[Exception] = None
+        for index, endpoint in enumerate(self.endpoints):
+            try:
+                if endpoint.scheme == "udp":
+                    response = await announce_udp(
+                        endpoint.host, endpoint.port, request, self.timeout
+                    )
+                else:
+                    response = await announce_http(
+                        endpoint.host, endpoint.port, request, self.timeout
+                    )
+            except (TrackerUnavailable, OSError, asyncio.TimeoutError) as exc:
+                last_error = exc
+                continue
+            if index > 0:
+                self.failover_count += 1
+            key = str(endpoint)
+            self.served_by[key] = self.served_by.get(key, 0) + 1
+            return response
+        raise TrackerUnavailable(
+            "all %d tracker endpoints failed (last: %s)"
+            % (len(self.endpoints), last_error)
+        )

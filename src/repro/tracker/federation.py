@@ -1,0 +1,157 @@
+"""Multi-tracker federation with deterministic failover.
+
+Real torrents carry an *announce-list* (BEP 12): an ordered set of
+tracker URLs the client walks until one answers.  This module provides
+that tier for both deployment shapes:
+
+* :class:`TrackerFederation` — the in-process form the simulator uses.
+  N replica *frontends* share one swarm registry (a tracker cluster
+  behind independent failure domains); each frontend has its own outage
+  windows, wired from the extended
+  :class:`~repro.sim.config.FaultConfig` (``tracker_replicas`` +
+  ``replica_outages``).  An announce walks replicas in tier order and is
+  served by the first one up; only when *every* replica is down does it
+  raise :class:`TrackerUnavailable` and the announcing peer falls back
+  to its existing retry/backoff fault model.  Failover order is a fixed
+  function of the tier list — never of timing — which the determinism
+  tests pin.
+
+* the async :class:`repro.tracker.client.FederatedAnnouncer` walks real
+  announce servers the same way over the wire.
+
+The federation intentionally exposes the same surface as
+:class:`~repro.tracker.tracker.Tracker` (announce/scrape/history/
+counters), so ``Swarm.tracker`` can be either without any caller
+noticing.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.tracker.sampling import PeerSampler
+from repro.tracker.tracker import Tracker, TrackerStats, TrackerUnavailable
+
+
+class TrackerFederation:
+    """N outage-independent frontends over one shared swarm registry."""
+
+    def __init__(
+        self,
+        rng: Random,
+        clock: Callable[[], float],
+        replicas: int = 2,
+        sampler: Optional[PeerSampler] = None,
+    ):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self._clock = clock
+        # One real tracker holds the registry; replica frontends are
+        # failure domains in front of it.
+        self._backend = Tracker(rng, clock, sampler=sampler)
+        self._replica_outages: List[Tuple[Tuple[float, float], ...]] = [
+            () for _ in range(replicas)
+        ]
+        self.replicas = replicas
+        self.served_by: List[int] = [0] * replicas
+        """Announces served per replica (failover visibility)."""
+
+        self.failover_count = 0
+        """Announces that skipped at least one downed replica."""
+
+        self.failed_announce_count = 0
+
+    # -- outage wiring -----------------------------------------------------
+
+    def set_outages(self, outages: Sequence[Tuple[float, float]]) -> None:
+        """Outage windows of replica 0 (the FaultConfig.tracker_outages
+        contract the single-tracker fault model established)."""
+        self.set_replica_outages(0, outages)
+
+    def set_replica_outages(
+        self, replica: int, outages: Sequence[Tuple[float, float]]
+    ) -> None:
+        self._replica_outages[replica] = tuple(
+            (float(start), float(duration)) for start, duration in outages
+        )
+
+    def replica_down(self, replica: int, now: float) -> bool:
+        return any(
+            start <= now < start + duration
+            for start, duration in self._replica_outages[replica]
+        )
+
+    def is_down(self, now: float) -> bool:
+        """True only when every replica is inside an outage window."""
+        return all(
+            self.replica_down(replica, now) for replica in range(self.replicas)
+        )
+
+    # -- the Tracker surface ----------------------------------------------
+
+    def announce(
+        self,
+        address: str,
+        event: str,
+        num_want: int,
+        is_seed: bool,
+        rng: Optional[Random] = None,
+        have_count: Optional[int] = None,
+    ) -> List[str]:
+        """Walk replicas in tier order; served by the first one up.
+
+        The walk order is the fixed tier order (0, 1, ..., n-1): which
+        replica serves depends only on the outage windows and the
+        announce time, so two runs of the same seed fail over
+        identically.
+        """
+        now = self._clock()
+        for replica in range(self.replicas):
+            if self.replica_down(replica, now):
+                continue
+            if replica > 0:
+                self.failover_count += 1
+            self.served_by[replica] += 1
+            return self._backend.announce(
+                address,
+                event=event,
+                num_want=num_want,
+                is_seed=is_seed,
+                rng=rng,
+                have_count=have_count,
+            )
+        self.failed_announce_count += 1
+        raise TrackerUnavailable(
+            "all %d tracker replicas down at t=%.1f" % (self.replicas, now)
+        )
+
+    def scrape(self) -> Tuple[int, int]:
+        return self._backend.scrape()
+
+    @property
+    def announce_count(self) -> int:
+        return self._backend.announce_count
+
+    @property
+    def completed_count(self) -> int:
+        return self._backend.completed_count
+
+    @property
+    def history(self) -> List[TrackerStats]:
+        return self._backend.history
+
+    @property
+    def num_registered(self) -> int:
+        return self._backend.num_registered
+
+    def registered_addresses(self) -> List[str]:
+        return self._backend.registered_addresses()
+
+    @property
+    def sampler(self) -> Optional[PeerSampler]:
+        return self._backend.sampler
+
+    @property
+    def state(self):
+        return self._backend.state

@@ -1,0 +1,195 @@
+"""Pluggable tracker peer-sampling strategies.
+
+Which peers a tracker hands out shapes the overlay the swarm builds on:
+the paper's peer-set results (Fig. 5) assume the mainline tracker's
+*uniform random* subset, while streaming-policy work (arXiv 1402.2187)
+shows that biased sampling changes swarm behaviour.  This module makes
+the choice a first-class, serialisable knob, mirroring the
+piece-selector registry in :mod:`repro.core.rarest_first`:
+
+``uniform``
+    The BEP-3 default: a uniform random subset of the swarm.  O(num_want)
+    per announce via index sampling over the dense registry.
+
+``seed-biased[:seed_fraction=0.5]``
+    Reserve roughly ``seed_fraction`` of the returned set for seeds
+    (when available), the "get newcomers unchoked fast" policy some
+    deployed trackers implement.  O(num_want).
+
+``rarity-aware[:bias=1.0]``
+    Weight peers by their reported piece count, ``(1 + have) ** bias``:
+    positive bias prefers well-provisioned peers (faster first pieces),
+    negative bias prefers newcomers (spreads upload demand).  Weighted
+    sampling without replacement via Efraimidis–Sampelis keys; O(n log k)
+    per announce, for swarms where the bias is worth that cost.
+
+All strategies draw exclusively from the :class:`random.Random` handed
+to :meth:`PeerSampler.sample` — the *caller's* seeded stream — so a
+peer's sample depends only on its own RNG and the registry content,
+never on a shared tracker stream or dict iteration order (the coupling
+the in-process tracker historically leaked; see DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import heapq
+from random import Random
+from typing import Callable, Dict, List
+
+from repro.tracker.state import SwarmState
+
+
+class PeerSampler:
+    """Strategy interface: pick ``num_want`` peers for a requester."""
+
+    #: Registry key; set by subclasses.
+    name = "abstract"
+
+    def sample(
+        self,
+        state: SwarmState,
+        exclude: str,
+        num_want: int,
+        rng: Random,
+    ) -> List[str]:
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """Serialised form that :func:`make_sampler` round-trips."""
+        return self.name
+
+
+def _sample_dense(
+    order: List[str], exclude: str, num_want: int, rng: Random
+) -> List[str]:
+    """Uniform subset of a dense address list, requester excluded.
+
+    Draws one extra index so the requester, if drawn, can be dropped
+    without a second pass; O(num_want) regardless of swarm size.
+    """
+    n = len(order)
+    if n == 0 or num_want <= 0:
+        return []
+    take = min(n, num_want + 1)
+    picks = rng.sample(range(n), take)
+    out = [order[i] for i in picks if order[i] != exclude]
+    return out[:num_want]
+
+
+class UniformSampler(PeerSampler):
+    """BEP-3 behaviour: a uniform random subset of the swarm."""
+
+    name = "uniform"
+
+    def sample(self, state, exclude, num_want, rng):
+        return _sample_dense(state.all.order, exclude, num_want, rng)
+
+
+class SeedBiasedSampler(PeerSampler):
+    """Reserve a fraction of the returned set for seeds."""
+
+    name = "seed-biased"
+
+    def __init__(self, seed_fraction: float = 0.5):
+        if not 0.0 <= seed_fraction <= 1.0:
+            raise ValueError("seed_fraction must be in [0, 1]")
+        self.seed_fraction = seed_fraction
+
+    def spec(self) -> str:
+        return "%s:seed_fraction=%g" % (self.name, self.seed_fraction)
+
+    def sample(self, state, exclude, num_want, rng):
+        if num_want <= 0:
+            return []
+        want_seeds = round(num_want * self.seed_fraction)
+        seeds = _sample_dense(state.seeds.order, exclude, want_seeds, rng)
+        rest = _sample_dense(
+            state.leechers.order, exclude, num_want - len(seeds), rng
+        )
+        out = seeds + rest
+        if len(out) < num_want:
+            # One pool ran short: top up from the other, avoiding repeats.
+            have = set(out)
+            have.add(exclude)
+            pool = (
+                state.leechers.order
+                if len(seeds) < want_seeds
+                else state.seeds.order
+            )
+            extra = [a for a in pool if a not in have]
+            missing = num_want - len(out)
+            if len(extra) > missing:
+                extra = rng.sample(extra, missing)
+            out += extra
+        return out[:num_want]
+
+
+class RarityAwareSampler(PeerSampler):
+    """Weight peers by reported progress, ``(1 + have_count) ** bias``."""
+
+    name = "rarity-aware"
+
+    def __init__(self, bias: float = 1.0):
+        self.bias = bias
+
+    def spec(self) -> str:
+        return "%s:bias=%g" % (self.name, self.bias)
+
+    def sample(self, state, exclude, num_want, rng):
+        if num_want <= 0 or not state.all.order:
+            return []
+        # Efraimidis–Sampelis: key = u ** (1/w); the num_want largest
+        # keys are a weighted sample without replacement.  One rng draw
+        # per candidate, in dense-registry order, so the result is a
+        # pure function of (registry, rng state).
+        keyed = []
+        entries = state.entries
+        for address in state.all.order:
+            u = rng.random()
+            if address == exclude:
+                continue
+            have = entries[address].have_count or 0
+            weight = (1.0 + have) ** self.bias
+            keyed.append((u ** (1.0 / weight), address))
+        top = heapq.nlargest(num_want, keyed)
+        return [address for __, address in top]
+
+
+#: Registry of constructors, keyed by sampler name.
+SAMPLER_REGISTRY: Dict[str, Callable[..., PeerSampler]] = {
+    UniformSampler.name: UniformSampler,
+    SeedBiasedSampler.name: SeedBiasedSampler,
+    RarityAwareSampler.name: RarityAwareSampler,
+}
+
+
+def parse_sampler_spec(spec: str):
+    """Split ``"name:key=value,..."`` into (name, kwargs); validates the
+    name against the registry and coerces values to float."""
+    name, _, args = spec.partition(":")
+    name = name.strip()
+    if name not in SAMPLER_REGISTRY:
+        raise ValueError(
+            "unknown sampler %r (have: %s)"
+            % (name, ", ".join(sorted(SAMPLER_REGISTRY)))
+        )
+    kwargs = {}
+    if args.strip():
+        for part in args.split(","):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError("malformed sampler argument %r" % part)
+            kwargs[key.strip()] = float(value)
+    return name, kwargs
+
+
+def make_sampler(spec: str) -> PeerSampler:
+    """Build a sampler from its spec string, e.g. ``"rarity-aware:bias=2"``.
+
+    >>> make_sampler("uniform").name
+    'uniform'
+    >>> make_sampler("seed-biased:seed_fraction=0.25").spec()
+    'seed-biased:seed_fraction=0.25'
+    """
+    name, kwargs = parse_sampler_spec(spec)
+    return SAMPLER_REGISTRY[name](**kwargs)

@@ -1,0 +1,392 @@
+"""The standalone asyncio announce server.
+
+One :class:`TrackerServer` fronts a :class:`~repro.tracker.service.TrackerService`
+over two wire shapes on localhost:
+
+* **HTTP-style GET** (BEP 3): ``GET /announce?info_hash=...&port=...``
+  over TCP, answered with a bencoded compact response
+  (:mod:`repro.tracker.wire`) — the format every BitTorrent client
+  speaks.  A minimal HTTP/1.0 parser is implemented here; the server
+  closes the connection after each response.
+
+* **UDP datagram framing** (BEP 15 shape): a 16-byte ``connect``
+  handshake issuing a connection id, then fixed-layout ``announce``
+  packets answered with ``interval/leechers/seeders`` plus the same
+  6-byte compact peer blob.
+
+Both frontends funnel into ``service.announce`` with no RNG of their
+own, so a given announce sequence produces byte-identical peer lists
+through either wire or through direct in-process calls — the
+differential the ``tracker``-marked conformance tests pin.
+
+Failures are first-class: an injected outage or a load-shedding
+rejection becomes a bencoded ``failure reason`` (HTTP) or an ``error``
+action (UDP), never a dropped connection, so clients can fail over.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote_to_bytes
+
+from repro.tracker.service import (
+    AnnounceRequest,
+    TrackerOverloaded,
+    TrackerService,
+)
+from repro.tracker.tracker import TrackerUnavailable
+from repro.tracker.wire import AnnounceResponse, encode_announce_response, encode_failure
+
+DEFAULT_NUM_WANT = 50
+
+#: BEP 15 magic constant opening every UDP connect request.
+UDP_PROTOCOL_ID = 0x41727101980
+UDP_CONNECT = 0
+UDP_ANNOUNCE = 1
+UDP_ERROR = 3
+
+#: UDP event codes (BEP 15) -> announce event strings.
+_UDP_EVENTS = {0: "", 1: "completed", 2: "started", 3: "stopped"}
+_UDP_EVENT_CODES = {v: k for k, v in _UDP_EVENTS.items()}
+
+
+def parse_query(query: str) -> Dict[str, bytes]:
+    """Split an announce query string, percent-decoding to raw bytes.
+
+    ``info_hash`` is 20 *binary* bytes percent-encoded, so the text-mode
+    stdlib helpers (which decode through UTF-8) cannot be used.
+    """
+    params: Dict[str, bytes] = {}
+    for part in query.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        params[key] = unquote_to_bytes(value.replace("+", "%20"))
+    return params
+
+
+def split_address(address: str) -> Tuple[str, int]:
+    """``"ip:port"`` -> (ip, port); port 0 for sim-style bare addresses."""
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        return address, 0
+    return host, int(port)
+
+
+def _request_from_params(
+    params: Dict[str, bytes], peer_host: str
+) -> AnnounceRequest:
+    if "info_hash" not in params or not params["info_hash"]:
+        raise ValueError("missing info_hash")
+    infohash = params["info_hash"]
+    port = int(params.get("port", b"0"))
+    ip = params.get("ip", peer_host.encode()).decode()
+    event = params.get("event", b"").decode()
+    if event not in ("", "started", "stopped", "completed"):
+        raise ValueError("unknown event %r" % event)
+    num_want = int(params.get("numwant", b"%d" % DEFAULT_NUM_WANT))
+    left = params.get("left")
+    have = params.get("have")
+    return AnnounceRequest(
+        infohash=infohash,
+        address="%s:%d" % (ip, port),
+        event=event,
+        num_want=num_want if num_want >= 0 else DEFAULT_NUM_WANT,
+        is_seed=(left == b"0") or event == "completed",
+        have_count=int(have) if have is not None else None,
+    )
+
+
+def encode_result(result) -> bytes:
+    """Bencode a service result exactly as the HTTP frontend does.
+
+    Shared with the in-process side of the wire differential tests: both
+    paths meet at these bytes.
+    """
+    return encode_announce_response(
+        AnnounceResponse(
+            interval=int(result.interval),
+            complete=result.seeds,
+            incomplete=result.leechers,
+            peers=[split_address(address) for address in result.peers],
+        )
+    )
+
+
+class _UdpTrackerProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server: "TrackerServer"):
+        self.server = server
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        reply = self.server.handle_datagram(data, addr)
+        if reply is not None and self.transport is not None:
+            self.transport.sendto(reply, addr)
+
+
+class TrackerServer:
+    """Serve one :class:`TrackerService` over HTTP-style TCP and UDP."""
+
+    def __init__(
+        self,
+        service: TrackerService,
+        host: str = "127.0.0.1",
+        http_port: int = 0,
+        udp_port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self._http_port = http_port
+        self._udp_port = udp_port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._udp_transport: Optional[asyncio.DatagramTransport] = None
+        self._connection_ids: Dict[int, Tuple[str, int]] = {}
+        self._next_connection_id = 1
+        self.http_requests = 0
+        self.udp_requests = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def http_port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def udp_port(self) -> int:
+        assert self._udp_transport is not None, "server not started"
+        return self._udp_transport.get_extra_info("sockname")[1]
+
+    async def start(self) -> None:
+        loop = asyncio.get_event_loop()
+        self._server = await asyncio.start_server(
+            self._on_http_connection, self.host, self._http_port
+        )
+        self._udp_transport, __ = await loop.create_datagram_endpoint(
+            lambda: _UdpTrackerProtocol(self),
+            local_addr=(self.host, self._udp_port),
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+            self._udp_transport = None
+
+    async def __aenter__(self) -> "TrackerServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- HTTP frontend -----------------------------------------------------
+
+    async def _on_http_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers up to the blank line; announces carry none we need.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            peername = writer.get_extra_info("peername") or ("127.0.0.1", 0)
+            body, status = self.handle_http_request(
+                request_line.decode("latin-1").strip(), peername[0]
+            )
+            writer.write(
+                b"HTTP/1.0 %d %s\r\n"
+                b"Content-Type: text/plain\r\n"
+                b"Content-Length: %d\r\n\r\n"
+                % (status, b"OK" if status == 200 else b"Bad Request", len(body))
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    def handle_http_request(
+        self, request_line: str, peer_host: str
+    ) -> Tuple[bytes, int]:
+        """(body, status) for one request line; factored out for tests."""
+        self.http_requests += 1
+        try:
+            method, target, *__ = request_line.split(" ")
+        except ValueError:
+            return encode_failure("malformed request line"), 400
+        if method != "GET":
+            return encode_failure("only GET is supported"), 400
+        path, _, query = target.partition("?")
+        if path == "/scrape":
+            return self._handle_scrape(query), 200
+        if path != "/announce":
+            return encode_failure("unknown path %s" % path), 400
+        try:
+            request = _request_from_params(parse_query(query), peer_host)
+        except (ValueError, KeyError) as exc:
+            return encode_failure("bad announce: %s" % exc), 400
+        try:
+            result = self.service.announce(request)
+        except TrackerOverloaded as exc:
+            return (
+                encode_failure(
+                    "%s; retry in %d" % (exc, int(exc.retry_after))
+                ),
+                200,
+            )
+        except TrackerUnavailable as exc:
+            return encode_failure(str(exc)), 200
+        return encode_result(result), 200
+
+    def _handle_scrape(self, query: str) -> bytes:
+        from repro.protocol.bencode import bencode
+
+        params = parse_query(query)
+        infohash = params.get("info_hash")
+        if infohash is None:
+            return encode_failure("scrape needs an info_hash")
+        seeds, leechers = self.service.scrape(infohash)
+        state = self.service.store.get(infohash)
+        return bencode(
+            {
+                b"files": {
+                    infohash: {
+                        b"complete": seeds,
+                        b"incomplete": leechers,
+                        b"downloaded": (
+                            state.completed_count if state is not None else 0
+                        ),
+                    }
+                }
+            }
+        )
+
+    # -- UDP frontend ------------------------------------------------------
+
+    def handle_datagram(self, data: bytes, addr) -> Optional[bytes]:
+        """Decode one datagram and return the reply (None = drop)."""
+        self.udp_requests += 1
+        if len(data) < 16:
+            return None
+        if len(data) == 16:
+            protocol_id, action, transaction_id = struct.unpack(">qii", data)
+            if protocol_id != UDP_PROTOCOL_ID or action != UDP_CONNECT:
+                return None
+            connection_id = self._next_connection_id
+            self._next_connection_id += 1
+            self._connection_ids[connection_id] = addr
+            return struct.pack(">iiq", UDP_CONNECT, transaction_id, connection_id)
+        if len(data) < 98:
+            return None
+        (
+            connection_id,
+            action,
+            transaction_id,
+            infohash,
+            __peer_id,
+            __downloaded,
+            left,
+            __uploaded,
+            event_code,
+            ip,
+            __key,
+            num_want,
+            port,
+        ) = struct.unpack(">qii20s20sqqqiIIiH", data[:98])
+        if action != UDP_ANNOUNCE:
+            return self._udp_error(transaction_id, "unsupported action")
+        if connection_id not in self._connection_ids:
+            return self._udp_error(transaction_id, "unknown connection id")
+        host = (
+            "%d.%d.%d.%d" % (ip >> 24 & 255, ip >> 16 & 255, ip >> 8 & 255, ip & 255)
+            if ip
+            else addr[0]
+        )
+        event = _UDP_EVENTS.get(event_code)
+        if event is None:
+            return self._udp_error(transaction_id, "unknown event")
+        request = AnnounceRequest(
+            infohash=infohash,
+            address="%s:%d" % (host, port),
+            event=event,
+            num_want=num_want if num_want >= 0 else DEFAULT_NUM_WANT,
+            is_seed=(left == 0) or event == "completed",
+        )
+        try:
+            result = self.service.announce(request)
+        except TrackerUnavailable as exc:
+            return self._udp_error(transaction_id, str(exc))
+        blob = bytearray(
+            struct.pack(
+                ">iiiii",
+                UDP_ANNOUNCE,
+                transaction_id,
+                int(result.interval),
+                result.leechers,
+                result.seeds,
+            )
+        )
+        from repro.tracker.wire import pack_peers
+
+        peers = [split_address(address) for address in result.peers]
+        blob += pack_peers([(h, p) for h, p in peers if 0 < p < 65536])
+        return bytes(blob)
+
+    @staticmethod
+    def _udp_error(transaction_id: int, message: str) -> bytes:
+        return struct.pack(">ii", UDP_ERROR, transaction_id) + message.encode()
+
+
+def build_udp_connect(transaction_id: int) -> bytes:
+    """Client-side connect request (shared with the UDP client/tests)."""
+    return struct.pack(">qii", UDP_PROTOCOL_ID, UDP_CONNECT, transaction_id)
+
+
+def build_udp_announce(
+    connection_id: int,
+    transaction_id: int,
+    request: AnnounceRequest,
+    port: int,
+    key: int = 0,
+) -> bytes:
+    """Client-side announce packet for :func:`handle_datagram`'s layout.
+
+    The BEP 15 ip field carries the requester's address from
+    ``request.address`` when it is a dotted quad (0 — "use the packet
+    source" — otherwise), so distinct announcers behind one socket stay
+    distinct registry entries.
+    """
+    host = request.address.rpartition(":")[0]
+    try:
+        ip = int.from_bytes(socket.inet_aton(host), "big")
+    except OSError:
+        ip = 0
+    return struct.pack(
+        ">qii20s20sqqqiIIiH",
+        connection_id,
+        UDP_ANNOUNCE,
+        transaction_id,
+        request.infohash,
+        b"\x00" * 20,
+        0,
+        0 if request.is_seed else 1,
+        0,
+        _UDP_EVENT_CODES[request.event],
+        ip,
+        key,
+        request.num_want,
+        port,
+    )

@@ -1,17 +1,39 @@
 """Tracker: the only centralised component of BitTorrent (§II-B).
 
 The tracker keeps the set of peers currently involved in the torrent,
-hands a random subset (50 by default) to peers that announce, and
-collects the per-torrent statistics (number of seeds and leechers over
-time) the paper probes to establish transient vs. steady state.
-It is not involved in the actual distribution of the file.
+hands a subset (50 by default, uniform random unless a different
+:mod:`~repro.tracker.sampling` strategy is installed) to peers that
+announce, and collects the per-torrent statistics (number of seeds and
+leechers over time) the paper probes to establish transient vs. steady
+state.  It is not involved in the actual distribution of the file.
+
+This in-process class is the synchronous frontend the simulator and the
+live :mod:`repro.net` peers call directly; the standalone asyncio
+announce server (:mod:`repro.tracker.server`) serves the same state
+machine over the wire.  Both sit on :class:`repro.tracker.state.SwarmState`
+and the sampler registry, so announce semantics cannot drift between
+the two.
+
+**RNG discipline.**  ``announce`` samples through the RNG the *caller*
+passes (each peer its own seeded stream).  Historically every sample
+was drawn from one shared tracker stream, so any reordering of
+announces — churn arrivals in the sim, wall-clock scheduling in the
+live net layer — perturbed every later peer's sample; worse, the
+candidate list was dict iteration order.  Now a peer's sample is a pure
+function of (its own RNG state, the registry content in registration
+order), pinned by a fingerprint test in ``tests/test_tracker.py``.
+The constructor's RNG remains as a fallback stream for callers that do
+not pass one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.tracker.sampling import PeerSampler, UniformSampler
+from repro.tracker.state import SwarmState
 
 
 class TrackerUnavailable(RuntimeError):
@@ -33,15 +55,29 @@ class TrackerStats:
 class Tracker:
     """In-memory tracker for a single torrent."""
 
-    def __init__(self, rng: Random, clock: Callable[[], float]):
+    def __init__(
+        self,
+        rng: Random,
+        clock: Callable[[], float],
+        sampler: Optional[PeerSampler] = None,
+    ):
         self._rng = rng
         self._clock = clock
-        self._peers: Dict[str, bool] = {}  # address -> is_seed
+        self._state = SwarmState()
+        self._sampler = sampler or UniformSampler()
         self._history: List[TrackerStats] = []
         self._outages: Tuple[Tuple[float, float], ...] = ()
         self.announce_count = 0
-        self.completed_count = 0
         self.failed_announce_count = 0
+
+    @property
+    def sampler(self) -> PeerSampler:
+        return self._sampler
+
+    @property
+    def state(self) -> SwarmState:
+        """The backing registry (shared with federation frontends)."""
+        return self._state
 
     def set_outages(self, outages: Sequence[Tuple[float, float]]) -> None:
         """Install ``(start, duration)`` windows during which every
@@ -59,43 +95,46 @@ class Tracker:
         event: str,
         num_want: int,
         is_seed: bool,
+        rng: Optional[Random] = None,
+        have_count: Optional[int] = None,
     ) -> List[str]:
-        """Process one announce and return up to *num_want* random peers.
+        """Process one announce and return up to *num_want* sampled peers.
 
         ``event`` is ``"started"``, ``"stopped"``, ``"completed"`` or
         ``""`` (the periodic keep-alive announce).  The returned list
-        never contains the requester.
+        never contains the requester.  ``rng`` is the caller's seeded
+        stream (module docstring); ``have_count`` optionally reports the
+        peer's progress for progress-aware samplers.
         """
-        if self.is_down(self._clock()):
+        now = self._clock()
+        if self.is_down(now):
             self.failed_announce_count += 1
-            raise TrackerUnavailable(
-                "tracker outage at t=%.1f" % self._clock()
-            )
+            raise TrackerUnavailable("tracker outage at t=%.1f" % now)
         self.announce_count += 1
-        if event == "stopped":
-            self._peers.pop(address, None)
-        else:
-            self._peers[address] = is_seed
-            if event == "completed":
-                self.completed_count += 1
+        self._state.update(
+            address,
+            event=event,
+            is_seed=is_seed,
+            now=now,
+            have_count=have_count,
+        )
         self._record_sample()
-        if num_want <= 0:
+        if num_want <= 0 or event == "stopped":
             return []
-        others = [peer for peer in self._peers if peer != address]
-        if len(others) <= num_want:
-            # Return a shuffled copy so initiation order is still random.
-            others = list(others)
-            self._rng.shuffle(others)
-            return others
-        return self._rng.sample(others, num_want)
+        return self._sampler.sample(
+            self._state, address, num_want, rng if rng is not None else self._rng
+        )
+
+    @property
+    def completed_count(self) -> int:
+        return self._state.completed_count
 
     def scrape(self) -> Tuple[int, int]:
         """(seeds, leechers) currently registered."""
-        seeds = sum(1 for is_seed in self._peers.values() if is_seed)
-        return seeds, len(self._peers) - seeds
+        return self._state.scrape()
 
     def _record_sample(self) -> None:
-        seeds, leechers = self.scrape()
+        seeds, leechers = self._state.scrape()
         self._history.append(TrackerStats(self._clock(), seeds, leechers))
 
     @property
@@ -105,7 +144,7 @@ class Tracker:
 
     @property
     def num_registered(self) -> int:
-        return len(self._peers)
+        return len(self._state)
 
     def registered_addresses(self) -> List[str]:
-        return list(self._peers)
+        return self._state.addresses()

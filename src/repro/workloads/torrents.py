@@ -246,6 +246,7 @@ def build_experiment(
     flash_crowd_size: int = 0,
     flash_crowd_spread: float = 60.0,
     stability_interval: Optional[float] = None,
+    tracker_sampler: Optional[str] = None,
 ) -> ExperimentHarness:
     """Materialise one Table-I scenario into a runnable experiment.
 
@@ -284,6 +285,11 @@ def build_experiment(
     :class:`~repro.workloads.open_system.StabilityDetector` sampling the
     swarm every that-many seconds; left at None (the default) no
     detector exists and traces are byte-identical to earlier runs.
+
+    ``tracker_sampler`` selects the tracker's peer-sampling strategy
+    (``"uniform"``, ``"seed-biased:seed_fraction=0.5"``,
+    ``"rarity-aware:bias=1.0"``); None keeps the default uniform
+    sampler with zero behaviour change.
     """
     capacities = capacities or INTERNET_2005
     client_rng = Random(seed ^ 0xC11E)
@@ -294,6 +300,8 @@ def build_experiment(
         block_size=block_size or scenario.block_size,
     )
     config = swarm_config or SwarmConfig(seed=seed, duration=scenario.duration)
+    if tracker_sampler is not None:
+        config.tracker_sampler = tracker_sampler
     swarm = Swarm(metainfo, config)
     if trace_recorder is not None and trace_all_peers:
         # Installed before any peer is added, so the initial population,

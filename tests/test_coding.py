@@ -1,7 +1,5 @@
 """Tests for the idealised network-coding comparator."""
 
-import pytest
-
 from repro.coding import CodingSwarm
 from repro.sim.config import KIB, PeerConfig, SwarmConfig
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.protocol.metainfo import BlockRef
-from repro.sim.config import KIB, PeerConfig
 
 from tests.conftest import fast_config, tiny_swarm
 

@@ -1,13 +1,10 @@
 """Tests for the multi-seed replication runner and the entropy-over-time
 series."""
 
-import math
-
 import pytest
 
 from repro.analysis.entropy import interest_fraction_series
 from repro.analysis.experiments import (
-    MetricSummary,
     run_replications,
     summarize_metric,
 )

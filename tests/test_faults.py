@@ -21,7 +21,7 @@ import pytest
 
 from repro.instrumentation import Instrumentation
 from repro.protocol.messages import Bitfield as BitfieldMessage, Piece, Have
-from repro.sim.config import KIB, FaultConfig, PeerConfig, SwarmConfig
+from repro.sim.config import KIB, FaultConfig, SwarmConfig
 from repro.sim.faults import FAULT_PRESETS, FaultPlan
 from repro.sim.observer import PeerObserver
 from repro.tracker.tracker import Tracker, TrackerUnavailable

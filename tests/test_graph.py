@@ -1,7 +1,6 @@
 """Tests for the swarm connectivity-graph analysis."""
 
 import networkx as nx
-import pytest
 
 from repro.analysis.graph import degree_histogram, graph_stats, swarm_graph
 from repro.sim.config import KIB, PeerConfig

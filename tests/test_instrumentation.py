@@ -4,7 +4,7 @@ import pytest
 
 from repro.instrumentation import Instrumentation
 from repro.instrumentation.logger import _IntervalTracker
-from repro.sim.config import KIB, PeerConfig
+from repro.sim.config import KIB
 
 from tests.conftest import fast_config, tiny_swarm
 
@@ -118,7 +118,10 @@ class TestTraceRecording:
         assert len(trace.choke_rounds) >= 8  # one per ~10 s
 
     def test_unchoke_times_recorded(self):
-        swarm, local, trace = instrumented_swarm()
+        # 32 pieces so the download spans several choke rounds: the
+        # 8-piece swarm can finish inside ~3 rounds, where remote
+        # interest in the local peer may never overlap a round boundary.
+        swarm, local, trace = instrumented_swarm(num_pieces=32)
         swarm.run(300)
         total_unchokes = sum(
             len(record.unchoke_times) for record in trace.records.values()
@@ -178,7 +181,10 @@ class TestTraceRecording:
         assert trace.rate_samples == []
 
     def test_rate_samples_recorded_when_enabled(self):
-        swarm = tiny_swarm(num_pieces=4)
+        # Rate samples fire once per choke round per live link; 32
+        # pieces keeps the link alive past the first round (a 4-piece
+        # download can finish before any round runs).
+        swarm = tiny_swarm(num_pieces=32)
         swarm.add_peer(config=fast_config(), is_seed=True)
         trace = Instrumentation(record_rates=True)
         swarm.add_peer(config=fast_config(), observer=trace)

@@ -1,9 +1,7 @@
 """Tests for the optional control-message latency."""
 
-import pytest
-
 from repro.protocol.messages import Have
-from repro.sim.config import KIB, SwarmConfig
+from repro.sim.config import SwarmConfig
 
 from tests.conftest import fast_config, tiny_swarm
 

@@ -1,8 +1,6 @@
 """Tests for the analytical models (Qiu-Srikant fluid, Yang-de Veciana
 service capacity) and their agreement with the simulator."""
 
-import math
-
 import pytest
 
 from repro.models import (

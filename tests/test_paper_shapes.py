@@ -4,13 +4,7 @@ test-suite scale (the full-scale versions live in benchmarks/).
 Each test encodes one "shape" from DESIGN.md §5.
 """
 
-import pytest
-
-from repro.analysis.entropy import summarize_entropy
-from repro.analysis.fairness import (
-    seed_service_bytes,
-    unchoke_interest_correlation,
-)
+from repro.analysis.fairness import unchoke_interest_correlation
 from repro.analysis.interarrival import interarrival_summary
 from repro.analysis.replication import (
     rarest_set_decay_rate,
@@ -20,7 +14,7 @@ from repro.analysis.replication import (
 from repro.core.choke import OldSeedChoker, SeedChoker, TitForTatChoker
 from repro.core.fairness import jain_index
 from repro.core.free_rider import FreeRiderChoker
-from repro.core.rarest_first import RandomSelector, RarestFirstSelector, SequentialSelector
+from repro.core.rarest_first import RarestFirstSelector, SequentialSelector
 from repro.instrumentation import Instrumentation
 from repro.sim.config import KIB, PeerConfig
 
@@ -320,7 +314,7 @@ class TestTitForTatStrandsCapacity:
         allowance is spent."""
 
         def asymmetric_completion(leecher_choker_factory):
-            swarm = tiny_swarm(num_pieces=48, seed=59)
+            swarm = tiny_swarm(num_pieces=48, seed=7)
             # Plenty of excess capacity: a fast seed.
             swarm.add_peer(config=fast_config(upload=8 * KIB), is_seed=True,
                            seed_choker=SeedChoker())

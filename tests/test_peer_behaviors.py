@@ -1,8 +1,6 @@
 """Behavioural tests of peer-set maintenance, pipelining, and the
 protocol niceties not covered by the core integration tests."""
 
-import pytest
-
 from repro.protocol.messages import Cancel, Request
 from repro.sim.config import KIB, PeerConfig, SwarmConfig
 

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.piece_picker import PiecePicker
-from repro.core.rarest_first import RarestFirstSelector, SequentialSelector
+from repro.core.rarest_first import RarestFirstSelector
 from repro.protocol.bitfield import Bitfield
 from repro.protocol.metainfo import PieceGeometry
 

@@ -1,7 +1,5 @@
 """Tests for result rendering and trace export."""
 
-import math
-
 import pytest
 
 from repro.analysis import (

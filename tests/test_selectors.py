@@ -69,7 +69,9 @@ class TestSequentialSelector:
 class TestGlobalRarest:
     def test_uses_oracle_counts(self):
         # Local availability says piece 0 is rarest, the oracle says 1.
-        oracle = lambda: [10, 1]
+        def oracle():
+            return [10, 1]
+
         selector = GlobalRarestSelector(oracle)
         assert selector.select([0, 1], [1, 5], Random(1)) == 1
 

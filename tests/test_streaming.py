@@ -239,8 +239,11 @@ class TestStreamingGating:
             duration=240.0,
         )
         record, __ = execute_shard(shard)
+        # Pinned baseline.  Regenerated when tracker announces moved to
+        # caller-RNG sampling (each peer's draws became a function of
+        # its own announce sequence instead of a shared tracker stream).
         assert record["trace_fingerprint"] == (
-            "d014b8c9315dd824402c34bb55391f5a7cc9110c006010aa3927a5b0029bd3a6"
+            "11873d630ec8ec07258e1cfe1424d5ebf5a3c1ebb465b967a02bb70f4e7662f3"
         )
 
 

@@ -6,8 +6,6 @@ pieces, and offers the next piece when the peer announces completion of
 the current one.
 """
 
-import pytest
-
 from repro.sim.config import KIB, PeerConfig
 
 from tests.conftest import fast_config, tiny_swarm

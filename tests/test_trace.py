@@ -204,6 +204,84 @@ def test_traced_experiment_outcome_matches_untraced():
 
 
 # ---------------------------------------------------------------------------
+# announce tracing (gated by SwarmConfig.trace_announces)
+# ---------------------------------------------------------------------------
+
+
+def announce_traced_swarm(seed=13, trace_announces=False):
+    swarm = tiny_swarm(
+        num_pieces=12,
+        seed=seed,
+        swarm_config=SwarmConfig(
+            seed=seed,
+            snapshot_interval=5.0,
+            announce_interval=60.0,
+            trace_announces=trace_announces,
+        ),
+    )
+    swarm.add_peer(config=fast_config(), is_seed=True)
+    recorder = TraceRecorder()
+    instrumentation = Instrumentation()
+    swarm.add_peer(
+        config=fast_config(upload=4 * KIB),
+        observer=FanoutObserver(instrumentation, TracingObserver(recorder)),
+    )
+    for __ in range(3):
+        swarm.add_peer(config=fast_config(upload=2 * KIB))
+    swarm.run(400.0)
+    recorder.close()
+    return swarm, recorder, instrumentation
+
+
+def test_announce_events_off_by_default():
+    __, recorder, instrumentation = announce_traced_swarm()
+    assert not [e for e in recorder.events() if e["type"] == "announce"]
+    assert instrumentation.announce_events == []
+
+
+def test_announce_events_recorded_when_enabled():
+    swarm, recorder, instrumentation = announce_traced_swarm(
+        trace_announces=True
+    )
+    events = [e for e in recorder.events() if e["type"] == "announce"]
+    assert events
+    kinds = {e["kind"] for e in events}
+    assert "started" in kinds
+    for event in events:
+        data = event["data"]
+        assert data["peer"] == event["peer"]
+        assert 0 <= data["returned"] <= data["num_want"]
+        assert data["attempt"] >= 0
+    assert instrumentation.announce_events
+    assert instrumentation.metrics.value("announce.started") >= 1
+
+
+def test_announce_tracing_does_not_perturb_the_run():
+    # The gate's contract: turning announce tracing on adds announce
+    # events to the trace and changes NOTHING else — the remaining
+    # event stream is byte-identical (the flag draws no randomness and
+    # schedules nothing).
+    __, recorder_off, __i = announce_traced_swarm(trace_announces=False)
+    __, recorder_on, __j = announce_traced_swarm(trace_announces=True)
+    lines_off = recorder_off.lines()[1:-1]
+    lines_on = [
+        line
+        for line in recorder_on.lines()[1:-1]
+        if '"type":"announce"' not in line
+    ]
+    assert lines_on == lines_off
+
+
+def test_announce_events_replay_into_instrumentation():
+    __, recorder, live = announce_traced_swarm(trace_announces=True)
+    replayed = replay_instrumentation(recorder.lines())
+    assert replayed.announce_events == live.announce_events
+    assert replayed.metrics.value("announce.started") == live.metrics.value(
+        "announce.started"
+    )
+
+
+# ---------------------------------------------------------------------------
 # integrity
 # ---------------------------------------------------------------------------
 

@@ -1,13 +1,15 @@
 """Tests for the simulated tracker."""
 
+import hashlib
 from random import Random
 
+from repro.tracker.sampling import SeedBiasedSampler
 from repro.tracker.tracker import Tracker
 
 
-def make_tracker():
+def make_tracker(**kwargs):
     clock = {"now": 0.0}
-    tracker = Tracker(Random(1), lambda: clock["now"])
+    tracker = Tracker(Random(1), lambda: clock["now"], **kwargs)
     return tracker, clock
 
 
@@ -57,6 +59,73 @@ class TestAnnounce:
         tracker.announce("a", event="started", num_want=0, is_seed=False)
         tracker.announce("a", event="completed", num_want=0, is_seed=True)
         assert tracker.completed_count == 1
+
+
+class TestRngDiscipline:
+    """The announce sample is a pure function of (caller RNG, registry).
+
+    Historically every sample came from one shared tracker stream over a
+    dict-iteration-order candidate list, so any reordering of *other*
+    peers' announces perturbed a peer's sample.  These tests pin the
+    repaired contract (DESIGN.md §15).
+    """
+
+    #: Pinned sample for (60-peer registry in registration order,
+    #: requester p3, num_want 20, caller rng Random(123)).  Changing the
+    #: sampler's draw pattern or the registry order breaks this on
+    #: purpose: it is the announce-sampling equivalent of the campaign
+    #: manifest fingerprint.
+    PINNED = "4fe06baadaa46c5d3ce1ce1aea28c0bceee3ff5d57d26cf131fec5c1a249e32e"
+
+    @staticmethod
+    def populate(tracker, num_want=0):
+        for index in range(60):
+            tracker.announce(
+                "p%d" % index,
+                event="started",
+                num_want=num_want,
+                is_seed=index % 4 == 0,
+            )
+
+    def test_caller_rng_sample_fingerprint(self):
+        tracker, __ = make_tracker()
+        self.populate(tracker)
+        sample = tracker.announce(
+            "p3", event="", num_want=20, is_seed=False, rng=Random(123)
+        )
+        digest = hashlib.sha256(repr(sample).encode()).hexdigest()
+        assert digest == self.PINNED
+
+    def test_sample_independent_of_shared_stream_consumption(self):
+        # Interleaved announces by OTHER peers drain the tracker's own
+        # fallback stream (num_want > 0, no caller rng would have hit it
+        # pre-fix); the caller-RNG sample must not move.
+        tracker, __ = make_tracker()
+        self.populate(tracker, num_want=17)
+        sample = tracker.announce(
+            "p3", event="", num_want=20, is_seed=False, rng=Random(123)
+        )
+        digest = hashlib.sha256(repr(sample).encode()).hexdigest()
+        assert digest == self.PINNED
+
+    def test_fallback_stream_still_works_without_caller_rng(self):
+        tracker, __ = make_tracker()
+        self.populate(tracker)
+        sample = tracker.announce("p3", event="", num_want=20, is_seed=False)
+        assert len(sample) == 20
+        assert "p3" not in sample
+
+    def test_custom_sampler_injected(self):
+        tracker, __ = make_tracker(sampler=SeedBiasedSampler(seed_fraction=1.0))
+        self.populate(tracker)
+        sample = tracker.announce(
+            "p3", event="", num_want=10, is_seed=False, rng=Random(5)
+        )
+        # 15 seeds registered (every 4th of 60): an all-seed request is
+        # satisfiable and the sampler must honour it.
+        seeds = {"p%d" % index for index in range(60) if index % 4 == 0}
+        assert len(sample) == 10
+        assert set(sample) <= seeds
 
 
 class TestScrape:

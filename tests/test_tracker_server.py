@@ -1,0 +1,373 @@
+"""Live announce-server conformance (``tracker`` marker).
+
+Every test here starts real asyncio servers on localhost and drives
+them through the async clients in :mod:`repro.tracker.client`.  The
+centrepiece is the sim-vs-live differential: the same announce
+sequence through the wire and through direct in-process service calls
+must produce *byte-identical* bencoded responses.
+"""
+
+import asyncio
+import hashlib
+import struct
+
+import pytest
+
+from repro.tracker.client import (
+    FederatedAnnouncer,
+    TrackerEndpoint,
+    announce_http,
+    announce_udp,
+)
+from repro.tracker.server import (
+    UDP_ERROR,
+    TrackerServer,
+    build_udp_announce,
+    build_udp_connect,
+    encode_result,
+)
+from repro.tracker.service import (
+    AnnounceBudget,
+    AnnounceRequest,
+    TrackerService,
+)
+from repro.tracker.tracker import TrackerUnavailable
+from repro.tracker.wire import decode_announce_response
+from repro.protocol.bencode import bdecode
+
+pytestmark = pytest.mark.tracker
+
+INFOHASH = hashlib.sha1(b"conformance-torrent").digest()
+TIMEOUT = 5.0
+
+
+class _Clock:
+    """Deterministic service clock so wire runs replay exactly."""
+
+    def __init__(self, step=0.5):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def make_service(**kwargs):
+    return TrackerService(_Clock(), seed=17, num_shards=4, **kwargs)
+
+
+def announce_sequence(count=30):
+    """A mixed, deterministic announce sequence (joins, refreshes,
+    completions, departures)."""
+    requests = []
+    for index in range(count):
+        address = "10.7.0.%d:6881" % (index % 12 + 1)
+        if index < 12:
+            event, is_seed = "started", index % 4 == 0
+        elif index % 7 == 0:
+            event, is_seed = "completed", True
+        elif index % 11 == 0:
+            event, is_seed = "stopped", False
+        else:
+            event, is_seed = "", index % 4 == 0
+        requests.append(
+            AnnounceRequest(
+                infohash=INFOHASH,
+                address=address,
+                event=event,
+                num_want=0 if event == "stopped" else 15,
+                is_seed=is_seed,
+                have_count=(index * 13) % 100,
+            )
+        )
+    return requests
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60.0))
+
+
+class TestHttpRoundTrip:
+    def test_announce_returns_peers(self):
+        async def scenario():
+            async with TrackerServer(make_service()) as server:
+                for request in announce_sequence(12):
+                    last = await announce_http(
+                        "127.0.0.1", server.http_port, request, TIMEOUT
+                    )
+                return last
+
+        response = run(scenario())
+        assert response.interval == 30 * 60
+        assert response.complete + response.incomplete == 12
+        assert len(response.peers) == 11  # everyone but the requester
+        assert server_port_types(response)
+
+    def test_scrape_over_http(self):
+        async def scenario():
+            async with TrackerServer(make_service()) as server:
+                for request in announce_sequence(12):
+                    await announce_http(
+                        "127.0.0.1", server.http_port, request, TIMEOUT
+                    )
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.http_port
+                )
+                from urllib.parse import quote_from_bytes
+
+                writer.write(
+                    b"GET /scrape?info_hash=%s HTTP/1.0\r\n\r\n"
+                    % quote_from_bytes(INFOHASH).encode()
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                return raw.partition(b"\r\n\r\n")[2]
+
+        body = bdecode(run(scenario()))
+        entry = body[b"files"][INFOHASH]
+        assert entry[b"complete"] + entry[b"incomplete"] == 12
+        assert entry[b"downloaded"] == 0
+
+    def test_malformed_requests_get_failure_responses(self):
+        service = make_service()
+        server = TrackerServer(service)
+        for line, fragment in (
+            ("POST /announce HTTP/1.0", b"only GET"),
+            ("GET /nonsense HTTP/1.0", b"unknown path"),
+            ("GET /announce?port=1 HTTP/1.0", b"info_hash"),
+            ("GET /announce?info_hash=x&event=explode HTTP/1.0", b"bad announce"),
+            ("garbage", b""),
+        ):
+            body, status = server.handle_http_request(line, "127.0.0.1")
+            assert status == 400
+            assert b"failure reason" in body
+            assert fragment in body
+        # None of the garbage touched the registry.
+        assert service.store.total_swarms == 0
+
+
+def server_port_types(response):
+    return all(
+        isinstance(host, str) and 0 < port < 65536
+        for host, port in response.peers
+    )
+
+
+class TestUdpRoundTrip:
+    def test_connect_then_announce(self):
+        async def scenario():
+            async with TrackerServer(make_service()) as server:
+                for request in announce_sequence(12):
+                    last = await announce_udp(
+                        "127.0.0.1", server.udp_port, request, TIMEOUT
+                    )
+                return last
+
+        response = run(scenario())
+        assert response.interval == 30 * 60
+        assert len(response.peers) == 11
+        assert server_port_types(response)
+
+    def test_bogus_datagrams_dropped_or_errored(self):
+        server = TrackerServer(make_service())
+        # Too short: dropped silently (no amplification for junk).
+        assert server.handle_datagram(b"\x00" * 8, ("127.0.0.1", 9)) is None
+        # Bad magic on a connect-sized packet: dropped.
+        assert (
+            server.handle_datagram(
+                struct.pack(">qii", 0xDEAD, 0, 1), ("127.0.0.1", 9)
+            )
+            is None
+        )
+        # Announce with an unknown connection id: explicit error action.
+        packet = build_udp_announce(
+            connection_id=999_999,
+            transaction_id=7,
+            request=AnnounceRequest(infohash=INFOHASH, address="10.0.0.1:6881"),
+            port=6881,
+        )
+        reply = server.handle_datagram(packet, ("127.0.0.1", 9))
+        action, tid = struct.unpack(">ii", reply[:8])
+        assert action == UDP_ERROR and tid == 7
+        assert b"connection id" in reply[8:]
+
+    def test_connect_issues_fresh_connection_ids(self):
+        server = TrackerServer(make_service())
+        first = server.handle_datagram(build_udp_connect(1), ("127.0.0.1", 1))
+        second = server.handle_datagram(build_udp_connect(2), ("127.0.0.1", 2))
+        __, __, id_a = struct.unpack(">iiq", first)
+        __, __, id_b = struct.unpack(">iiq", second)
+        assert id_a != id_b
+
+
+class TestSimVsLiveDifferential:
+    def test_wire_responses_byte_identical_to_in_process(self):
+        # The same seed, same announce sequence, through two frontends:
+        # direct service calls encoded with the shared encoder vs the
+        # HTTP server over localhost.  Byte equality, not approximate.
+        requests = announce_sequence(30)
+
+        in_process = []
+        service = make_service()
+        for request in requests:
+            try:
+                in_process.append(encode_result(service.announce(request)))
+            except TrackerUnavailable as exc:
+                in_process.append(repr(str(exc)).encode())
+
+        async def scenario():
+            bodies = []
+            async with TrackerServer(make_service()) as server:
+                for request in requests:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.http_port
+                    )
+                    from repro.tracker.client import build_announce_target
+
+                    target = build_announce_target(
+                        request, int(request.address.rpartition(":")[2])
+                    )
+                    writer.write(
+                        b"GET %s HTTP/1.0\r\n\r\n" % target.encode("latin-1")
+                    )
+                    await writer.drain()
+                    raw = await reader.read()
+                    writer.close()
+                    bodies.append(raw.partition(b"\r\n\r\n")[2])
+            return bodies
+
+        over_wire = run(scenario())
+        assert over_wire == in_process
+
+    def test_sampler_choice_survives_the_wire(self):
+        # A non-default sampler spec produces the same sample through
+        # the wire as in process (the per-request RNG derivation is a
+        # pure function of the announce sequence, not the frontend).
+        from repro.tracker.sampling import make_sampler
+
+        def build():
+            return TrackerService(
+                _Clock(), seed=5, num_shards=2,
+                sampler=make_sampler("seed-biased:seed_fraction=0.5"),
+            )
+
+        requests = announce_sequence(20)
+        direct = build()
+        expected = [encode_result(direct.announce(r)) for r in requests]
+
+        async def scenario():
+            bodies = []
+            async with TrackerServer(build()) as server:
+                for request in requests:
+                    response = await announce_http(
+                        "127.0.0.1", server.http_port, request, TIMEOUT
+                    )
+                    bodies.append(response)
+            return bodies
+
+        responses = run(scenario())
+        decoded = [decode_announce_response(b) for b in expected]
+        assert responses == decoded
+
+
+class TestLoadSheddingOverWire:
+    def test_rejection_is_a_failure_response_not_a_drop(self):
+        budget = AnnounceBudget(announces_per_second=0.1, window=5.0,
+                                reject_factor=2.0)
+
+        async def scenario():
+            async with TrackerServer(make_service(budget=budget)) as server:
+                failures = 0
+                for request in announce_sequence(25):
+                    if request.event == "stopped":
+                        continue
+                    try:
+                        await announce_http(
+                            "127.0.0.1", server.http_port, request, TIMEOUT
+                        )
+                    except TrackerUnavailable as exc:
+                        failures += 1
+                        assert "retry in" in str(exc)
+                return failures, server.service.rejected_announces
+
+        failures, rejected = run(scenario())
+        assert failures > 0
+        assert failures == rejected
+
+
+class TestLiveFederationFailover:
+    def test_dead_endpoint_skipped_deterministically(self):
+        async def scenario():
+            service = make_service()
+            async with TrackerServer(service) as live:
+                # A dead TCP endpoint: bind-then-close guarantees a
+                # connection refusal, never a timeout.
+                probe = await asyncio.start_server(
+                    lambda r, w: None, "127.0.0.1", 0
+                )
+                dead_port = probe.sockets[0].getsockname()[1]
+                probe.close()
+                await probe.wait_closed()
+
+                announcer = FederatedAnnouncer(
+                    endpoints=[
+                        TrackerEndpoint("127.0.0.1", dead_port),
+                        TrackerEndpoint("127.0.0.1", live.http_port),
+                        TrackerEndpoint("127.0.0.1", live.udp_port, "udp"),
+                    ],
+                    timeout=TIMEOUT,
+                )
+                for request in announce_sequence(10):
+                    await announcer.announce(request)
+                return announcer
+
+        announcer = run(scenario())
+        live_key = [k for k in announcer.served_by if k.startswith("http")]
+        assert announcer.failover_count == 10
+        assert len(live_key) == 1
+        assert announcer.served_by[live_key[0]] == 10
+        # The UDP fallback never had to serve: tier order is respected.
+        assert not any(k.startswith("udp") for k in announcer.served_by)
+
+    def test_all_endpoints_dead_raises(self):
+        async def scenario():
+            probe = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+            dead_port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            announcer = FederatedAnnouncer(
+                endpoints=[TrackerEndpoint("127.0.0.1", dead_port)],
+                timeout=1.0,
+            )
+            with pytest.raises(TrackerUnavailable):
+                await announcer.announce(
+                    AnnounceRequest(infohash=INFOHASH, address="10.0.0.1:6881")
+                )
+
+        run(scenario())
+
+    def test_udp_tier_serves_when_http_down(self):
+        async def scenario():
+            async with TrackerServer(make_service()) as live:
+                probe = await asyncio.start_server(
+                    lambda r, w: None, "127.0.0.1", 0
+                )
+                dead_port = probe.sockets[0].getsockname()[1]
+                probe.close()
+                await probe.wait_closed()
+                announcer = FederatedAnnouncer(
+                    endpoints=[
+                        TrackerEndpoint("127.0.0.1", dead_port),
+                        TrackerEndpoint("127.0.0.1", live.udp_port, "udp"),
+                    ],
+                    timeout=TIMEOUT,
+                )
+                for request in announce_sequence(12):
+                    response = await announcer.announce(request)
+                return announcer, response
+
+        announcer, response = run(scenario())
+        assert announcer.failover_count == 12
+        assert len(response.peers) == 11

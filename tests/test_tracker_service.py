@@ -1,0 +1,530 @@
+"""Tests for the tracker service tier: sharded store, samplers, load
+shedding, per-request RNG derivation, and the in-process federation.
+
+The live-server conformance tests (``tracker`` marker) live in
+``test_tracker_server.py``; everything here is synchronous and runs in
+the tier-1 suite.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from random import Random
+
+from repro.sim.config import KIB, FaultConfig, SwarmConfig
+from repro.tracker.federation import TrackerFederation
+from repro.tracker.sampling import (
+    RarityAwareSampler,
+    SeedBiasedSampler,
+    UniformSampler,
+    make_sampler,
+    parse_sampler_spec,
+)
+from repro.tracker.service import (
+    AnnounceBudget,
+    AnnounceRequest,
+    TrackerOverloaded,
+    TrackerService,
+)
+from repro.tracker.state import ShardedSwarmStore, SwarmState, shard_of
+from repro.tracker.tracker import TrackerUnavailable
+from repro.tracker.wire import pack_peers, unpack_peers
+
+from tests.conftest import fast_config, tiny_swarm
+
+HASH_A = hashlib.sha1(b"torrent-a").digest()
+HASH_B = hashlib.sha1(b"torrent-b").digest()
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_service(**kwargs):
+    clock = _Clock()
+    return TrackerService(clock, seed=11, **kwargs), clock
+
+
+def populate(service, infohash=HASH_A, count=40, seeds=10):
+    for index in range(count):
+        service.announce(
+            AnnounceRequest(
+                infohash=infohash,
+                address="10.0.0.%d:6881" % (index + 1),
+                event="started",
+                num_want=0,
+                is_seed=index < seeds,
+                have_count=100 if index < seeds else index,
+            )
+        )
+
+
+class TestShardedStore:
+    def test_shard_placement_is_stable(self):
+        # CRC-32, not the salted builtin hash: placement must be a pure
+        # function of the infohash across processes.
+        assert shard_of(HASH_A, 8) == shard_of(HASH_A, 8)
+        store = ShardedSwarmStore(8)
+        assert store.shard_index(HASH_A) == shard_of(HASH_A, 8)
+
+    def test_get_or_create_reuses_state(self):
+        store = ShardedSwarmStore(4)
+        state = store.get_or_create(HASH_A)
+        assert store.get_or_create(HASH_A) is state
+        assert store.get(HASH_B) is None
+        assert store.total_swarms == 1
+
+    def test_rebalance_preserves_swarm_objects(self):
+        store = ShardedSwarmStore(1)
+        hashes = [hashlib.sha1(b"t%d" % i).digest() for i in range(32)]
+        states = {h: store.get_or_create(h) for h in hashes}
+        for h in hashes:
+            states[h].update("1.2.3.4:1", "started", False, 0.0)
+        moved = store.rebalance(8)
+        # With one source shard, every swarm not mapping to shard 0
+        # under the new count moves; the objects themselves are reused.
+        assert moved == sum(1 for h in hashes if shard_of(h, 8) != 0)
+        assert store.num_shards == 8
+        for h in hashes:
+            assert store.get(h) is states[h]
+        assert store.total_peers == 32
+
+    def test_rebalance_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            ShardedSwarmStore(4).rebalance(0)
+
+    def test_stats_account_all_shards(self):
+        store = ShardedSwarmStore(4)
+        store.get_or_create(HASH_A).update("a:1", "started", False, 0.0)
+        store.get_or_create(HASH_B).update("b:1", "started", True, 0.0)
+        stats = store.stats()
+        assert len(stats) == 4
+        assert sum(s.swarms for s in stats) == 2
+        assert sum(s.peers for s in stats) == 2
+        assert sum(s.announces for s in stats) == 2
+
+
+class TestSwarmStateRoles:
+    def test_seed_transition_moves_role_index(self):
+        state = SwarmState()
+        state.update("x:1", "started", False, 0.0)
+        assert state.scrape() == (0, 1)
+        state.update("x:1", "completed", True, 1.0)
+        assert state.scrape() == (1, 0)
+        assert state.completed_count == 1
+
+    def test_stopped_detaches_entry(self):
+        state = SwarmState()
+        state.update("x:1", "started", True, 0.0)
+        state.update("x:1", "stopped", True, 1.0)
+        assert len(state) == 0
+        assert state.scrape() == (0, 0)
+        # A stray stop for an unknown peer is harmless.
+        state.update("ghost:1", "stopped", False, 2.0)
+        assert len(state) == 0
+
+
+class TestSamplers:
+    @given(
+        population=st.integers(min_value=0, max_value=80),
+        num_want=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_sample_properties(self, population, num_want, seed):
+        state = SwarmState()
+        for index in range(population):
+            state.update("p%d" % index, "started", index % 3 == 0, 0.0)
+        sample = UniformSampler().sample(state, "p0", num_want, Random(seed))
+        assert len(sample) == min(num_want, max(0, population - 1))
+        assert "p0" not in sample
+        assert len(set(sample)) == len(sample)
+
+    def test_seed_biased_reserves_fraction(self):
+        state = SwarmState()
+        for index in range(40):
+            state.update("p%d" % index, "started", index < 10, 0.0)
+        sampler = SeedBiasedSampler(seed_fraction=0.5)
+        seeds = {"p%d" % index for index in range(10)}
+        sample = sampler.sample(state, "p39", 20, Random(3))
+        assert len(sample) == 20
+        assert sum(1 for a in sample if a in seeds) == 10
+
+    def test_seed_biased_tops_up_from_leechers(self):
+        state = SwarmState()
+        for index in range(30):
+            state.update("p%d" % index, "started", index < 2, 0.0)
+        sample = SeedBiasedSampler(seed_fraction=0.5).sample(
+            state, "p29", 20, Random(3)
+        )
+        # Only 2 seeds exist; the other 18 slots fill from leechers.
+        assert len(sample) == 20
+        assert len(set(sample)) == 20
+        assert "p29" not in sample
+
+    def test_rarity_aware_prefers_provisioned_peers(self):
+        state = SwarmState()
+        for index in range(100):
+            state.update(
+                "p%d" % index, "started", False, 0.0,
+                have_count=90 if index < 20 else 1,
+            )
+        sampler = RarityAwareSampler(bias=3.0)
+        rich = {"p%d" % index for index in range(20)}
+        hits = 0
+        for seed in range(30):
+            sample = sampler.sample(state, "p99", 10, Random(seed))
+            assert "p99" not in sample
+            hits += sum(1 for a in sample if a in rich)
+        # 20% of the population, heavily weighted: well above the
+        # uniform expectation of 2-in-10 per draw.
+        assert hits / 30 > 5
+
+    def test_rarity_aware_is_deterministic_per_rng(self):
+        state = SwarmState()
+        for index in range(50):
+            state.update("p%d" % index, "started", False, 0.0, have_count=index)
+        sampler = RarityAwareSampler(bias=1.0)
+        assert sampler.sample(state, "p0", 10, Random(9)) == sampler.sample(
+            state, "p0", 10, Random(9)
+        )
+
+    def test_spec_round_trip(self):
+        for spec in ("uniform", "seed-biased:seed_fraction=0.25",
+                     "rarity-aware:bias=-2"):
+            assert make_sampler(spec).spec() == spec
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            parse_sampler_spec("nonsense")
+        with pytest.raises(ValueError):
+            parse_sampler_spec("uniform:oops")
+        with pytest.raises(ValueError):
+            SeedBiasedSampler(seed_fraction=1.5)
+
+
+class TestCompactEncoding:
+    @given(
+        peers=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=1, max_value=65535),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pack_unpack_round_trip(self, peers):
+        dotted = [
+            (
+                "%d.%d.%d.%d"
+                % (ip >> 24 & 255, ip >> 16 & 255, ip >> 8 & 255, ip & 255),
+                port,
+            )
+            for ip, port in peers
+        ]
+        blob = pack_peers(dotted)
+        assert len(blob) == 6 * len(dotted)
+        assert unpack_peers(blob) == dotted
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ValueError):
+            pack_peers([("1.2.3.4", 0)])
+        with pytest.raises(ValueError):
+            pack_peers([("1.2.3.4", 65536)])
+
+    def test_ragged_blob_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_peers(b"\x01\x02\x03")
+
+
+class TestServiceAnnounce:
+    def test_zero_live_peers_announce(self):
+        # The very first announce of a swarm: nobody else is registered,
+        # the answer must be a well-formed empty peer list, not an error.
+        service, __ = make_service()
+        result = service.announce(
+            AnnounceRequest(infohash=HASH_A, address="10.0.0.1:6881",
+                            event="started", num_want=50)
+        )
+        assert result.peers == []
+        assert (result.seeds, result.leechers) == (0, 1)
+
+    def test_announce_after_everyone_left(self):
+        service, __ = make_service()
+        populate(service, count=3, seeds=0)
+        for index in range(3):
+            service.announce(
+                AnnounceRequest(infohash=HASH_A,
+                                address="10.0.0.%d:6881" % (index + 1),
+                                event="stopped", num_want=0)
+            )
+        result = service.announce(
+            AnnounceRequest(infohash=HASH_A, address="10.0.9.9:6881",
+                            event="started", num_want=50)
+        )
+        assert result.peers == []
+        assert (result.seeds, result.leechers) == (0, 1)
+
+    def test_request_rng_reproducible_across_services(self):
+        # Two services with the same seed answer the same announce
+        # sequence identically — the wire-frontend determinism contract.
+        samples = []
+        for __ in range(2):
+            service, __clock = make_service(num_shards=4)
+            populate(service)
+            result = service.announce(
+                AnnounceRequest(infohash=HASH_A, address="10.0.0.5:6881",
+                                event="", num_want=20)
+            )
+            samples.append(result.peers)
+        assert samples[0] == samples[1]
+        assert len(samples[0]) == 20
+
+    def test_registration_order_not_dict_order(self):
+        # Samples are drawn over the dense registration-order list; a
+        # same-seed service populated in the same order yields identical
+        # samples regardless of how many OTHER swarms exist (which would
+        # shift dict layouts).
+        service_a, __ = make_service(num_shards=2)
+        populate(service_a)
+        service_b, __ = make_service(num_shards=2)
+        for index in range(7):
+            service_b.announce(
+                AnnounceRequest(
+                    infohash=hashlib.sha1(b"noise-%d" % index).digest(),
+                    address="10.9.0.%d:6881" % (index + 1),
+                    event="started", num_want=0,
+                )
+            )
+        populate(service_b)
+        request = AnnounceRequest(infohash=HASH_A, address="10.0.0.5:6881",
+                                  event="", num_want=15)
+        assert service_a.announce(request).peers == service_b.announce(request).peers
+
+    def test_outage_window_rejects(self):
+        service, clock = make_service()
+        service.set_outages([(10.0, 5.0)])
+        clock.now = 12.0
+        with pytest.raises(TrackerUnavailable):
+            service.announce(
+                AnnounceRequest(infohash=HASH_A, address="a:1", num_want=0)
+            )
+        assert service.failed_announce_count == 1
+        clock.now = 15.0
+        service.announce(
+            AnnounceRequest(infohash=HASH_A, address="a:1", num_want=0)
+        )
+
+    def test_rebalance_during_outage_preserves_registry(self):
+        # The maintenance story: take the announce path down, re-home
+        # the shards, bring it back — nothing registered is lost and
+        # placement follows the new shard count.
+        service, clock = make_service(num_shards=2)
+        populate(service, count=20, seeds=5)
+        populate(service, infohash=HASH_B, count=10, seeds=2)
+        service.set_outages([(100.0, 50.0)])
+        clock.now = 120.0
+        with pytest.raises(TrackerUnavailable):
+            service.announce(
+                AnnounceRequest(infohash=HASH_A, address="x:1", num_want=0)
+            )
+        service.store.rebalance(7)
+        assert service.store.num_shards == 7
+        assert service.store.total_peers == 30
+        clock.now = 200.0
+        result = service.announce(
+            AnnounceRequest(infohash=HASH_A, address="10.0.0.1:6881",
+                            event="", num_want=10, is_seed=True)
+        )
+        assert len(result.peers) == 10
+        assert service.scrape(HASH_A) == (5, 15)
+        assert service.scrape(HASH_B) == (2, 8)
+        assert service.store.shard_index(HASH_A) == shard_of(HASH_A, 7)
+
+    def test_stats_surface(self):
+        service, __ = make_service(num_shards=3)
+        populate(service, count=5, seeds=1)
+        stats = service.stats()
+        assert stats["announces"] == 5
+        assert stats["swarms"] == 1
+        assert stats["peers"] == 5
+        assert stats["sampler"] == "uniform"
+        assert len(stats["shards"]) == 3
+
+
+class TestLoadShedding:
+    def burst(self, service, clock, count, event=""):
+        outcomes = []
+        for index in range(count):
+            try:
+                result = service.announce(
+                    AnnounceRequest(
+                        infohash=HASH_A,
+                        address="10.1.%d.%d:6881" % (index // 250, index % 250 + 1),
+                        event=event,
+                        num_want=0,
+                    )
+                )
+                outcomes.append(result.shed_factor)
+            except TrackerOverloaded as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def test_interval_scales_with_overload(self):
+        budget = AnnounceBudget(announces_per_second=2.0, window=5.0,
+                                reject_factor=1000.0)
+        service, clock = make_service(budget=budget, interval=60.0)
+        # 30 announces in one window = 6/s = 3x the 2/s budget.
+        outcomes = self.burst(service, clock, 30)
+        assert outcomes[0] == 1.0  # under budget at first
+        assert outcomes[-1] == pytest.approx(3.0)
+        assert service.shed_announces > 0
+        result = service.announce(
+            AnnounceRequest(infohash=HASH_A, address="10.2.0.1:6881", num_want=0)
+        )
+        assert result.interval == pytest.approx(60.0 * result.shed_factor)
+
+    def test_interval_stretch_is_capped(self):
+        budget = AnnounceBudget(announces_per_second=0.2, window=5.0,
+                                max_interval_factor=4.0, reject_factor=1000.0)
+        service, clock = make_service(budget=budget)
+        outcomes = self.burst(service, clock, 200)
+        assert outcomes[-1] == 4.0
+
+    def test_reject_past_hard_limit(self):
+        budget = AnnounceBudget(announces_per_second=1.0, window=5.0,
+                                reject_factor=4.0)
+        service, clock = make_service(budget=budget, interval=45.0)
+        outcomes = self.burst(service, clock, 60)
+        rejected = [o for o in outcomes if isinstance(o, TrackerOverloaded)]
+        assert rejected
+        assert rejected[0].retry_after == 45.0
+        assert service.rejected_announces == len(rejected)
+
+    def test_stopped_announces_never_shed(self):
+        # Losing a departure would leak a registry entry forever; the
+        # shedding path must always let "stopped" through.
+        budget = AnnounceBudget(announces_per_second=1.0, window=5.0,
+                                reject_factor=2.0)
+        service, clock = make_service(budget=budget)
+        self.burst(service, clock, 50)  # drive the rate far past reject
+        result = service.announce(
+            AnnounceRequest(infohash=HASH_A, address="10.1.0.1:6881",
+                            event="stopped", num_want=0)
+        )
+        assert result.peers == []
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            AnnounceBudget(announces_per_second=0.0)
+        with pytest.raises(ValueError):
+            AnnounceBudget(announces_per_second=1.0, reject_factor=1.0)
+        with pytest.raises(ValueError):
+            AnnounceBudget(announces_per_second=1.0, max_interval_factor=0.5)
+
+
+class TestFederation:
+    def make_federation(self, replicas=3):
+        clock = _Clock()
+        federation = TrackerFederation(Random(2), lambda: clock.now,
+                                       replicas=replicas)
+        return federation, clock
+
+    def test_replica_zero_serves_by_default(self):
+        federation, __ = self.make_federation()
+        federation.announce("a:1", event="started", num_want=0, is_seed=False)
+        assert federation.served_by == [1, 0, 0]
+        assert federation.failover_count == 0
+
+    def test_failover_order_is_tier_order(self):
+        federation, clock = self.make_federation()
+        federation.set_replica_outages(0, [(0.0, 100.0)])
+        federation.set_replica_outages(1, [(0.0, 50.0)])
+        clock.now = 10.0  # 0 and 1 down -> replica 2 serves
+        federation.announce("a:1", event="started", num_want=0, is_seed=False)
+        clock.now = 60.0  # only 0 down -> replica 1 serves
+        federation.announce("a:1", event="", num_want=0, is_seed=False)
+        clock.now = 200.0  # all up -> replica 0 serves
+        federation.announce("a:1", event="", num_want=0, is_seed=False)
+        assert federation.served_by == [1, 1, 1]
+        assert federation.failover_count == 2
+
+    def test_all_replicas_down_raises(self):
+        federation, clock = self.make_federation(replicas=2)
+        federation.set_replica_outages(0, [(0.0, 10.0)])
+        federation.set_replica_outages(1, [(0.0, 10.0)])
+        clock.now = 5.0
+        assert federation.is_down(5.0)
+        with pytest.raises(TrackerUnavailable):
+            federation.announce("a:1", event="", num_want=0, is_seed=False)
+        assert federation.failed_announce_count == 1
+
+    def test_registry_shared_across_replicas(self):
+        federation, clock = self.make_federation(replicas=2)
+        federation.announce("a:1", event="started", num_want=0, is_seed=True)
+        federation.set_replica_outages(0, [(0.0, 100.0)])
+        clock.now = 50.0
+        peers = federation.announce(
+            "b:1", event="started", num_want=10, is_seed=False, rng=Random(4)
+        )
+        # Replica 1 serves from the same registry replica 0 filled.
+        assert peers == ["a:1"]
+        assert federation.scrape() == (1, 1)
+
+
+class TestFederationUnderFaultPlan:
+    """End-to-end: FaultConfig.replica_outages through a simulated swarm."""
+
+    @staticmethod
+    def run_swarm(seed=21):
+        faults = FaultConfig(
+            tracker_replicas=2,
+            # Replica 0 is down for the whole mid-run window; announces
+            # (join announces of churn arrivals and periodic refreshes)
+            # must fail over to replica 1 rather than backing off.
+            replica_outages=((0, 0.0, 10_000.0),),
+        )
+        swarm = tiny_swarm(
+            num_pieces=12,
+            seed=seed,
+            swarm_config=SwarmConfig(seed=seed, faults=faults,
+                                     announce_interval=60.0),
+        )
+        swarm.add_peer(config=fast_config(), is_seed=True)
+        for __ in range(3):
+            swarm.add_peer(config=fast_config(upload=4 * KIB))
+        result = swarm.run(400.0)
+        return swarm, result
+
+    def test_failover_keeps_swarm_alive(self):
+        swarm, result = self.run_swarm()
+        assert len(result.completions) == 3
+        assert swarm.tracker.served_by[0] == 0
+        assert swarm.tracker.served_by[1] > 0
+        assert swarm.tracker.failover_count == swarm.tracker.served_by[1]
+        assert swarm.tracker.failed_announce_count == 0
+
+    def test_same_seed_fails_over_identically(self):
+        swarm_a, result_a = self.run_swarm()
+        swarm_b, result_b = self.run_swarm()
+        assert swarm_a.tracker.served_by == swarm_b.tracker.served_by
+        assert swarm_a.tracker.failover_count == swarm_b.tracker.failover_count
+        assert result_a.completions == result_b.completions
+
+    def test_replica_outages_without_federation_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(tracker_replicas=1, replica_outages=((1, 0.0, 5.0),))
+        # Index validation happens at config construction; the swarm
+        # wiring rejects a single-replica config that somehow carries
+        # replica windows (bypassing __post_init__) as well.
+        faults = FaultConfig(tracker_replicas=2,
+                             replica_outages=((1, 0.0, 5.0),))
+        object.__setattr__(faults, "tracker_replicas", 1)
+        with pytest.raises(ValueError):
+            tiny_swarm(swarm_config=SwarmConfig(seed=1, faults=faults))
