@@ -20,7 +20,26 @@ from repro.campaign.aggregate import (
     render_manifest_table,
     render_streaming_table,
 )
-from repro.campaign.cache import CACHE_SCHEMA_VERSION, ShardCache, shard_cache_key
+from repro.campaign.cache import (
+    CACHE_SCHEMA_VERSION,
+    DurationBook,
+    ShardCache,
+    shard_cache_key,
+)
+from repro.campaign.dispatch import (
+    BACKENDS,
+    LocalBackend,
+    WorkerPoolBackend,
+    estimate_shard_cost,
+    parse_backend_spec,
+    resolve_backend,
+    schedule_shards,
+)
+from repro.campaign.incremental import (
+    InvalidationReport,
+    ShardDelta,
+    diff_spec,
+)
 from repro.campaign.runner import (
     CampaignResult,
     CampaignRunner,
@@ -34,6 +53,7 @@ from repro.campaign.spec import (
     DEFAULT_CAMPAIGN_SEED,
     DEFAULT_SCENARIO,
     PAPER_TORRENT_IDS,
+    PAYLOAD_FIELDS,
     SCENARIOS,
     CampaignSpec,
     ScenarioVariant,
@@ -42,30 +62,45 @@ from repro.campaign.spec import (
     expand_spec,
     parse_torrent_ids,
 )
+from repro.campaign.worker import main_worker, run_worker
 
 __all__ = [
+    "BACKENDS",
     "CACHE_SCHEMA_VERSION",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "DEFAULT_CAMPAIGN_SEED",
     "DEFAULT_SCENARIO",
+    "DurationBook",
+    "InvalidationReport",
+    "LocalBackend",
     "MANIFEST_NAME",
     "PAPER_TORRENT_IDS",
+    "PAYLOAD_FIELDS",
     "SCENARIOS",
     "ScenarioVariant",
     "ShardCache",
+    "ShardDelta",
     "ShardSpec",
     "ShardTimeout",
+    "WorkerPoolBackend",
     "derive_shard_seed",
+    "diff_spec",
+    "estimate_shard_cost",
     "execute_shard",
     "expand_spec",
+    "main_worker",
     "manifest_fingerprint",
     "mean_download_times",
+    "parse_backend_spec",
     "parse_torrent_ids",
     "render_campaign_table",
     "render_manifest_table",
     "render_streaming_table",
+    "resolve_backend",
     "run_shard_payload",
+    "run_worker",
+    "schedule_shards",
     "shard_cache_key",
 ]

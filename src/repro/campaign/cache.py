@@ -122,3 +122,54 @@ class ShardCache:
             if self.trace_path(key).exists():
                 found.append(key)
         return found
+
+
+DURATIONS_NAME = "durations.json"
+
+
+class DurationBook:
+    """Recorded shard wall-clock durations, for cache-aware scheduling.
+
+    Keyed by *shard id* (not content key): a spec edit that invalidates
+    a shard's cache entry usually leaves its runtime roughly unchanged,
+    so the stale duration is still the best available scheduling hint —
+    exactly the case longest-shard-first ordering exists for.  Stored
+    as ``durations.json`` beside the cache entries; purely advisory
+    (scheduling never affects results), so a missing or corrupt file
+    reads as empty, never as an error.
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._durations: dict = {}
+        if self.root is not None:
+            try:
+                loaded = json.loads((self.root / DURATIONS_NAME).read_text())
+            except (OSError, ValueError):
+                loaded = {}
+            if isinstance(loaded, dict):
+                self._durations = {
+                    str(shard_id): float(seconds)
+                    for shard_id, seconds in loaded.items()
+                    if isinstance(seconds, (int, float))
+                }
+
+    def get(self, shard_id: str) -> Optional[float]:
+        return self._durations.get(shard_id)
+
+    def record(self, shard_id: str, wall_seconds: float) -> None:
+        self._durations[shard_id] = round(float(wall_seconds), 4)
+
+    def save(self) -> None:
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / DURATIONS_NAME
+        tmp = self.root / ("%s.%d.tmp" % (DURATIONS_NAME, os.getpid()))
+        tmp.write_text(
+            json.dumps(self._durations, indent=2, sort_keys=True) + "\n"
+        )
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return len(self._durations)

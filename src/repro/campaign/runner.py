@@ -6,9 +6,14 @@ code path behind every consumer: the benchmark helpers run it inline,
 the :class:`CampaignRunner` ships it to worker processes, and a cache
 hit replays the stored trace into the exact live ``Instrumentation``.
 
-:class:`CampaignRunner` expands a :class:`CampaignSpec` into shards and
-executes the ones the cache cannot answer on a
-``concurrent.futures.ProcessPoolExecutor``:
+:class:`CampaignRunner` expands a :class:`CampaignSpec` into shards,
+orders the ones the cache cannot answer longest-first (recorded
+durations when known, a ``piece_count x peers`` estimate for cold
+shards) and executes them through a pluggable *dispatch backend*
+(:mod:`repro.campaign.dispatch`): ``local`` — inline or a
+``ProcessPoolExecutor`` — or ``worker-pool`` — N ``repro campaign
+worker`` processes pulling shards over a socket work queue, on this
+host or others.  Semantics are backend-independent:
 
 * **RNG hygiene** — every worker re-seeds both the global ``random``
   module and the simulation (via the shard's derived seed) before
@@ -18,10 +23,10 @@ executes the ones the cache cannot answer on a
   timer (``SIGALRM``), so a wedged shard kills itself instead of the
   campaign; timeouts are deterministic, so they are recorded, not
   retried.
-* **Bounded retry on crash** — a worker process dying abruptly breaks
-  the whole pool; the runner rebuilds it, charges one attempt to the
-  shard that surfaced the crash and resubmits the rest unharmed, until
-  each shard either completes or exhausts ``retries``.
+* **Bounded retry on crash** — a worker dying abruptly (a broken
+  process pool, a dropped worker-pool connection) charges one attempt
+  to the shard that surfaced the crash and leaves the rest unharmed,
+  until each shard either completes or exhausts ``retries``.
 * **Structured failure records** — a failed/timed-out shard becomes a
   manifest entry (status, attempts, error strings) and the campaign
   carries on; it never aborts the other shards.
@@ -38,14 +43,13 @@ from __future__ import annotations
 import json
 import random
 import signal
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.campaign.cache import ShardCache, shard_cache_key
+from repro.campaign.cache import DurationBook, ShardCache, shard_cache_key
 from repro.campaign.spec import CampaignSpec, ShardSpec, expand_spec
 from repro.instrumentation import Instrumentation, TraceRecorder
 from repro.instrumentation.replay import replay_instrumentation
@@ -222,24 +226,42 @@ def execute_shard(
 
 
 def run_shard_payload(payload: dict) -> dict:
-    """Worker-process entry point: rebuild the shard and execute it."""
+    """Worker-process entry point: rebuild the shard and execute it.
+
+    ``payload["resume"]`` (default False) lets the shard be served from
+    the cache: the worker-pool backend sets it so a worker handed a
+    shard that a racing (or crash-recovered) worker already committed
+    returns the cached record instead of recomputing — the cache is the
+    coordination point, and duplicate completion is idempotent.  The
+    local pool leaves it off; the runner already filtered cached shards
+    before dispatch, so a local worker never sees a warm one.
+    """
     shard = ShardSpec.from_payload(payload)
     cache = (
         ShardCache(payload["cache_root"]) if payload.get("cache_root") else None
     )
-    record, __ = execute_shard(shard, cache=cache, resume=False)
+    record, __ = execute_shard(
+        shard, cache=cache, resume=bool(payload.get("resume"))
+    )
     return record
 
 
 def _run_guarded(executor_fn: Callable[[dict], dict], payload: dict) -> dict:
     """What actually runs in the worker: re-seed, arm the timeout, go.
 
-    Also used verbatim for ``workers=1`` inline execution, so the serial
-    and parallel paths share every semantic (including the timeout).
+    Also used verbatim for ``workers=1`` inline execution and by the
+    worker-pool workers, so every dispatch path shares every semantic
+    (including the timeout).  The interval timer only arms in a main
+    thread (signals are process-wide): in-process helper threads — the
+    dispatch tests run workers that way — execute unarmed.
     """
     random.seed(payload["seed"] ^ _RESEED_SALT)
     timeout = payload.get("timeout")
-    armed = timeout is not None and hasattr(signal, "setitimer")
+    armed = (
+        timeout is not None
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
     if armed:
         previous = signal.signal(signal.SIGALRM, _alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout)
@@ -310,7 +332,7 @@ def manifest_fingerprint(shard_entries: List[dict]) -> str:
 
 
 class CampaignRunner:
-    """Execute a campaign spec across worker processes, cache-first."""
+    """Execute a campaign spec through a dispatch backend, cache-first."""
 
     def __init__(
         self,
@@ -321,6 +343,8 @@ class CampaignRunner:
         retries: int = 1,
         executor: Callable[[dict], dict] = run_shard_payload,
         progress: Optional[Callable[[str], None]] = None,
+        backend: str = "local",
+        dispatch_backend=None,
     ) -> None:
         self.spec = spec
         self.cache = ShardCache(cache_dir) if cache_dir is not None else None
@@ -329,15 +353,37 @@ class CampaignRunner:
         self.retries = max(0, retries)
         self.executor = executor
         self.progress = progress or (lambda message: None)
+        self.backend_spec = backend
+        self._backend = dispatch_backend
+        """A pre-built backend instance (tests inject in-process worker
+        pools this way); None builds one from ``backend_spec``."""
+
+    def _resolve_dispatch(self):
+        if self._backend is not None:
+            return self._backend
+        from repro.campaign.dispatch import resolve_backend
+
+        return resolve_backend(
+            self.backend_spec,
+            workers=self.workers,
+            executor=self.executor,
+            progress=self.progress,
+        )
 
     # -- execution ---------------------------------------------------------
 
     def run(
         self, resume: bool = True, shard_filter: Optional[str] = None
     ) -> CampaignResult:
+        from repro.campaign.dispatch import schedule_shards
+
         shards = expand_spec(self.spec, shard_filter=shard_filter)
         records: Dict[str, dict] = {}
-        pending: List[_PendingShard] = []
+        by_id = {}
+        durations = DurationBook(
+            self.cache.root if self.cache is not None else None
+        )
+        remote = self.backend_spec.partition(":")[0] != "local"
         for shard in shards:
             key = shard_cache_key(shard)
             if self.cache is not None and resume:
@@ -352,14 +398,39 @@ class CampaignRunner:
             payload["timeout"] = self.timeout
             if self.cache is not None:
                 payload["cache_root"] = str(self.cache.root)
-            pending.append(_PendingShard(shard=shard, key=key, payload=payload))
+            if remote:
+                # Worker-pool duplicates coordinate through the cache.
+                payload["resume"] = True
+            by_id[shard.shard_id] = _PendingShard(
+                shard=shard, key=key, payload=payload
+            )
+
+        # Cache-aware scheduling: longest shard first, by recorded
+        # duration when this cache has seen the shard before, by the
+        # piece_count x peers estimate when cold.  Pure reordering —
+        # the manifest fingerprint is scheduling-order-independent.
+        pending = [
+            by_id[shard.shard_id]
+            for shard in schedule_shards(
+                [item.shard for item in by_id.values()], durations
+            )
+        ]
 
         executed = len(pending)
         if pending:
-            if self.workers == 1:
-                self._run_inline(pending, records)
-            else:
-                self._run_pool(pending, records)
+            dispatch = self._resolve_dispatch()
+
+            def on_success(item: _PendingShard, record: dict) -> None:
+                item.attempts += 1
+                self._resolve(item, record, records)
+                if record.get("wall_seconds") and not record.get("cache_hit"):
+                    durations.record(item.shard.shard_id, record["wall_seconds"])
+
+            def on_error(item: _PendingShard, error: BaseException) -> bool:
+                return self._absorb_error(item, error, records)
+
+            dispatch.execute(pending, on_success, on_error)
+            durations.save()
 
         manifest = self._build_manifest(shards, records, executed)
         if self.cache is not None:
@@ -412,61 +483,6 @@ class CampaignRunner:
             return True
         return False
 
-    def _run_inline(self, pending: List[_PendingShard], records: dict) -> None:
-        """Serial execution in-process — same guard, same bookkeeping."""
-        for item in pending:
-            while True:
-                try:
-                    record = _run_guarded(self.executor, dict(item.payload))
-                except Exception as error:
-                    if self._absorb_error(item, error, records):
-                        break
-                else:
-                    item.attempts += 1
-                    self._resolve(item, record, records)
-                    break
-
-    def _run_pool(self, pending: List[_PendingShard], records: dict) -> None:
-        """Parallel execution; rebuilds the pool after a worker crash."""
-        remaining = list(pending)
-        while remaining:
-            pool = ProcessPoolExecutor(max_workers=self.workers)
-            futures = {
-                pool.submit(_run_guarded, self.executor, dict(item.payload)): item
-                for item in remaining
-            }
-            try:
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    crashed: List[Tuple[_PendingShard, BaseException]] = []
-                    for future in done:
-                        item = futures[future]
-                        try:
-                            record = future.result()
-                        except BrokenProcessPool as error:
-                            crashed.append((item, error))
-                        except Exception as error:
-                            self._absorb_error(item, error, records)
-                        else:
-                            item.attempts += 1
-                            self._resolve(item, record, records)
-                    if crashed:
-                        # The pool is poisoned: charge one attempt to the
-                        # shard that surfaced the crash, abandon the rest
-                        # of this round (their futures are already dead)
-                        # and rebuild.  Shards that finished before the
-                        # crash keep their results.
-                        self._absorb_error(crashed[0][0], crashed[0][1], records)
-                        break
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-            remaining = [
-                item
-                for item in remaining
-                if item.shard.shard_id not in records
-            ]
-
     # -- manifest ----------------------------------------------------------
 
     def _build_manifest(
@@ -512,6 +528,7 @@ class CampaignRunner:
             "schema": MANIFEST_SCHEMA_VERSION,
             "campaign": self.spec.describe(),
             "workers": self.workers,
+            "backend": self.backend_spec,
             "counts": counts,
             "shards": entries,
             "manifest_fingerprint": manifest_fingerprint(entries),

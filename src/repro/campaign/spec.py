@@ -31,6 +31,31 @@ DEFAULT_CAMPAIGN_SEED = 3
 DEFAULT_SCENARIO = "paper"
 PAPER_TORRENT_IDS: Tuple[int, ...] = tuple(range(1, 27))
 
+#: Every key that can appear in :meth:`ShardSpec.as_payload`, in payload
+#: order.  The incremental differ (:mod:`repro.campaign.incremental`)
+#: walks this list to explain *which* coordinate invalidated a cached
+#: shard, so it must stay in lockstep with ``as_payload``.
+PAYLOAD_FIELDS: Tuple[str, ...] = (
+    "torrent_id",
+    "scenario",
+    "replicate",
+    "seed",
+    "duration",
+    "block_size",
+    "faults",
+    "selector",
+    "playback_rate",
+    "playback_startup_pieces",
+    "arrival_rate",
+    "seed_upload",
+    "num_pieces",
+    "piece_size",
+    "depart_on_completion",
+    "flash_crowd_size",
+    "stability_interval",
+    "tracker_sampler",
+)
+
 
 @dataclass(frozen=True)
 class ScenarioVariant:

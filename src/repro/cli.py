@@ -158,52 +158,77 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_commands = campaign_parser.add_subparsers(
         dest="campaign_command", required=True
     )
+    def add_campaign_spec_args(parser: argparse.ArgumentParser) -> None:
+        """Spec-defining flags shared by ``campaign run`` and ``diff``."""
+        parser.add_argument(
+            "--name", default="paper-table1",
+            help="campaign name (manifest label)",
+        )
+        parser.add_argument(
+            "--torrents", default="all",
+            help="'all' (the 26-torrent paper matrix) or e.g. "
+            "'2,3,13,19' / '7-9'",
+        )
+        parser.add_argument(
+            "--scenario", default="paper",
+            help="comma-separated scenario variants: paper, smoke, "
+            "faults-light, faults-heavy, streaming-rarest, "
+            "streaming-seqwin, streaming-pfs, flash-crowd, "
+            "flash-crowd-suppress",
+        )
+        parser.add_argument(
+            "--selector", default=None, metavar="SPEC",
+            help="override every shard's piece-selection strategy "
+            "(see 'repro run --selector')",
+        )
+        parser.add_argument(
+            "--playback-rate", type=float, default=None,
+            metavar="BYTES_PER_S",
+            help="override every shard's streaming playback rate",
+        )
+        parser.add_argument(
+            "--tracker-sampler", default=None, metavar="SPEC",
+            help="override every shard's tracker peer-sampling strategy "
+            "(see 'repro run --tracker-sampler')",
+        )
+        parser.add_argument("--replicates", type=int, default=1)
+        parser.add_argument(
+            "--campaign-seed", type=int, default=3,
+            help="root seed every shard's RNG stream derives from",
+        )
+        parser.add_argument(
+            "--duration", type=float, default=None,
+            help="override every shard's simulated run length",
+        )
+        parser.add_argument(
+            "--cache-dir", default="campaign-cache",
+            help="content-addressed shard cache + manifest directory",
+        )
+        parser.add_argument(
+            "--filter", default=None, metavar="GLOB",
+            help="only shards whose id matches (e.g. 't07-*', 'faults')",
+        )
+
     campaign_run = campaign_commands.add_parser(
         "run",
         help="execute a campaign's missing shards across worker processes",
     )
-    campaign_run.add_argument(
-        "--name", default="paper-table1", help="campaign name (manifest label)"
-    )
-    campaign_run.add_argument(
-        "--torrents", default="all",
-        help="'all' (the 26-torrent paper matrix) or e.g. '2,3,13,19' / '7-9'",
-    )
-    campaign_run.add_argument(
-        "--scenario", default="paper",
-        help="comma-separated scenario variants: paper, smoke, "
-        "faults-light, faults-heavy, streaming-rarest, streaming-seqwin, "
-        "streaming-pfs, flash-crowd, flash-crowd-suppress",
-    )
-    campaign_run.add_argument(
-        "--selector", default=None, metavar="SPEC",
-        help="override every shard's piece-selection strategy "
-        "(see 'repro run --selector')",
-    )
-    campaign_run.add_argument(
-        "--playback-rate", type=float, default=None, metavar="BYTES_PER_S",
-        help="override every shard's streaming playback rate",
-    )
-    campaign_run.add_argument(
-        "--tracker-sampler", default=None, metavar="SPEC",
-        help="override every shard's tracker peer-sampling strategy "
-        "(see 'repro run --tracker-sampler')",
-    )
-    campaign_run.add_argument("--replicates", type=int, default=1)
-    campaign_run.add_argument(
-        "--campaign-seed", type=int, default=3,
-        help="root seed every shard's RNG stream derives from",
-    )
+    add_campaign_spec_args(campaign_run)
     campaign_run.add_argument(
         "--workers", type=int, default=1, help="worker processes"
     )
     campaign_run.add_argument(
-        "--cache-dir", default="campaign-cache",
-        help="content-addressed shard cache + manifest directory",
+        "--backend", default="local", metavar="SPEC",
+        help="dispatch backend: 'local' (in-process pool, default) or "
+        "'worker-pool[:host=H,port=P,spawn=N]' (socket coordinator; "
+        "spawn=0 waits for externally started 'campaign worker' "
+        "processes)",
     )
     campaign_run.add_argument(
-        "--filter", default=None, metavar="GLOB",
-        help="only shards whose id matches (e.g. 't07-*', 'faults')",
+        "--incremental", action="store_true",
+        help="print the spec-vs-cache invalidation report before "
+        "executing (the run then executes exactly the invalidated "
+        "shards)",
     )
     resume_group = campaign_run.add_mutually_exclusive_group()
     resume_group.add_argument(
@@ -223,10 +248,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per shard after a worker crash or error",
     )
     campaign_run.add_argument(
-        "--duration", type=float, default=None,
-        help="override every shard's simulated run length",
-    )
-    campaign_run.add_argument(
         "--results-dir", default=None, metavar="DIR",
         help="also write the aggregated campaign table into DIR "
         "(e.g. benchmarks/results)",
@@ -237,6 +258,29 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_status.add_argument("--cache-dir", default="campaign-cache")
     campaign_status.add_argument(
         "--json", action="store_true", help="dump the raw manifest JSON"
+    )
+    campaign_diff = campaign_commands.add_parser(
+        "diff",
+        help="report which shards a run of this spec would (re-)execute, "
+        "and why, without executing anything",
+    )
+    add_campaign_spec_args(campaign_diff)
+    campaign_diff.add_argument(
+        "--json", action="store_true",
+        help="dump the invalidation report as JSON",
+    )
+    campaign_worker = campaign_commands.add_parser(
+        "worker",
+        help="serve shards for a 'campaign run --backend worker-pool' "
+        "coordinator",
+    )
+    campaign_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator endpoint (from the coordinator's startup line)",
+    )
+    campaign_worker.add_argument(
+        "--verbose", action="store_true",
+        help="log each shard's outcome to stderr",
     )
 
     net_parser = commands.add_parser(
@@ -343,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
     tracker_serve.add_argument(
         "--announce-budget", type=float, default=None, metavar="PER_SECOND",
         help="load-shedding budget in announces/second (default: unlimited)",
+    )
+    tracker_serve.add_argument(
+        "--expiry-intervals", type=float, default=None, metavar="K",
+        help="reap peers silent for more than K announce intervals "
+        "(default: never expire)",
     )
     tracker_serve.add_argument(
         "--stats-interval", type=float, default=60.0,
@@ -727,12 +776,28 @@ def _print_figure(trace: Instrumentation, name: str, args) -> None:
         raise ValueError("unknown figure %r" % name)
 
 
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from repro.campaign import CampaignSpec, parse_torrent_ids
+
+    return CampaignSpec(
+        name=args.name,
+        torrent_ids=parse_torrent_ids(args.torrents),
+        scenarios=tuple(
+            name.strip() for name in args.scenario.split(",") if name.strip()
+        ),
+        replicates=args.replicates,
+        campaign_seed=args.campaign_seed,
+        duration=args.duration,
+        selector=args.selector,
+        playback_rate=args.playback_rate,
+        tracker_sampler=args.tracker_sampler,
+    )
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import (
         CampaignRunner,
-        CampaignSpec,
         MANIFEST_NAME,
-        parse_torrent_ids,
         render_campaign_table,
         render_manifest_table,
         render_streaming_table,
@@ -752,25 +817,54 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(render_manifest_table(manifest), end="")
         return 0
 
-    spec = CampaignSpec(
-        name=args.name,
-        torrent_ids=parse_torrent_ids(args.torrents),
-        scenarios=tuple(
-            name.strip() for name in args.scenario.split(",") if name.strip()
-        ),
-        replicates=args.replicates,
-        campaign_seed=args.campaign_seed,
-        duration=args.duration,
-        selector=args.selector,
-        playback_rate=args.playback_rate,
-        tracker_sampler=args.tracker_sampler,
-    )
+    if args.campaign_command == "worker":
+        from repro.campaign import main_worker
+
+        return main_worker(args.connect, verbose=args.verbose)
+
+    if args.campaign_command == "diff":
+        from repro.campaign import diff_spec
+
+        report = diff_spec(
+            _campaign_spec_from_args(args), args.cache_dir,
+            shard_filter=args.filter,
+        )
+        if args.json:
+            payload = {
+                "campaign": report.campaign,
+                "counts": report.counts(),
+                "shards": [
+                    {
+                        "shard_id": delta.shard_id,
+                        "key": delta.key,
+                        "state": delta.state,
+                        "reason": delta.reason,
+                        "changed_fields": [
+                            list(change) for change in delta.changed_fields
+                        ],
+                    }
+                    for delta in report.deltas
+                ],
+                "removed": report.removed,
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(report.render(), end="")
+        return 1 if report.invalidated else 0
+
+    spec = _campaign_spec_from_args(args)
+    if args.incremental:
+        from repro.campaign import diff_spec
+
+        report = diff_spec(spec, args.cache_dir, shard_filter=args.filter)
+        print(report.render(), end="", file=sys.stderr)
     runner = CampaignRunner(
         spec,
         cache_dir=args.cache_dir,
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
+        backend=args.backend,
         progress=lambda message: print(message, file=sys.stderr),
     )
     result = runner.run(resume=args.resume, shard_filter=args.filter)
@@ -968,6 +1062,7 @@ def _cmd_tracker(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "num_shards": args.shards,
         "budget": budget,
+        "expiry_intervals": args.expiry_intervals,
     }
     if args.interval is not None:
         service_kwargs["interval"] = args.interval
@@ -981,6 +1076,23 @@ def _cmd_tracker(args: argparse.Namespace) -> int:
             service, host=args.host, http_port=args.port, udp_port=udp_port
         )
         await server.start()
+        reap_task = None
+        if service.expiry_intervals is not None:
+            # Periodic full-store sweep: lazy per-announce expiry only
+            # reaps swarms that still see traffic, so the sweep is what
+            # bounds registry growth for abandoned swarms.
+            window = service.expiry_intervals * service.interval
+
+            async def reap_loop() -> None:
+                while True:
+                    await asyncio.sleep(window)
+                    reaped = service.reap()
+                    if reaped:
+                        print(
+                            "reaped %d dead peers" % reaped, file=sys.stderr
+                        )
+
+            reap_task = asyncio.ensure_future(reap_loop())
         print(
             "tracker serving on http://%s:%d/announce and udp://%s:%d "
             "(%d shards, %s sampler%s)"
@@ -1017,6 +1129,8 @@ def _cmd_tracker(args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
         finally:
+            if reap_task is not None:
+                reap_task.cancel()
             await server.stop()
 
     try:

@@ -131,13 +131,17 @@ class TrackerService:
         sampler: Optional[PeerSampler] = None,
         interval: float = DEFAULT_INTERVAL,
         budget: Optional[AnnounceBudget] = None,
+        expiry_intervals: Optional[float] = None,
     ):
+        if expiry_intervals is not None and expiry_intervals <= 0:
+            raise ValueError("expiry_intervals must be positive")
         self._clock = clock
         self._seed = seed
         self.store = ShardedSwarmStore(num_shards)
         self.sampler = sampler or UniformSampler()
         self.interval = interval
         self.budget = budget
+        self.expiry_intervals = expiry_intervals
         self._rate = (
             _RateWindow(budget.window) if budget is not None else None
         )
@@ -145,6 +149,7 @@ class TrackerService:
         self.shed_announces = 0
         self.rejected_announces = 0
         self.failed_announce_count = 0
+        self.expired_peers = 0
         self._outages: tuple = ()
 
     @classmethod
@@ -215,6 +220,15 @@ class TrackerService:
                 self.shed_announces += 1
         self.announce_count += 1
         state = self.store.get_or_create(request.infohash)
+        if self.expiry_intervals is not None:
+            # Lazy per-announce reap of the swarm being touched: a peer
+            # silent for more than ``expiry_intervals`` re-announce
+            # intervals is dead (it missed that many keep-alives), and
+            # reaping it *before* sampling keeps its address out of the
+            # peer set handed back.
+            self.expired_peers += len(
+                state.expire(now, self.expiry_intervals * self.interval)
+            )
         state.update(
             request.address,
             event=request.event,
@@ -243,6 +257,24 @@ class TrackerService:
         state = self.store.get(infohash)
         return state.scrape() if state is not None else (0, 0)
 
+    def reap(self, now: Optional[float] = None) -> int:
+        """Sweep *every* swarm for dead peers; returns how many died.
+
+        The lazy per-announce expiry only touches swarms that still see
+        traffic — a swarm whose last leecher vanished never announces
+        again, so a periodic full sweep (the live server runs one per
+        expiry window) is what actually bounds registry growth.
+        No-op unless ``expiry_intervals`` is configured.
+        """
+        if self.expiry_intervals is None:
+            return 0
+        reaped = self.store.expire(
+            self._clock() if now is None else now,
+            self.expiry_intervals * self.interval,
+        )
+        self.expired_peers += reaped
+        return reaped
+
     def stats(self) -> dict:
         """Operational counters + per-shard sizes (CLI / bench surface)."""
         return {
@@ -250,6 +282,7 @@ class TrackerService:
             "shed": self.shed_announces,
             "rejected": self.rejected_announces,
             "failed": self.failed_announce_count,
+            "expired": self.expired_peers,
             "swarms": self.store.total_swarms,
             "peers": self.store.total_peers,
             "sampler": self.sampler.spec(),

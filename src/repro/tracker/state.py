@@ -147,6 +147,32 @@ class SwarmState:
             self.leechers.add(address)
         return entry
 
+    def expire(self, now: float, max_age: float) -> List[str]:
+        """Reap peers not seen for more than *max_age*; returns them.
+
+        A peer whose announces stopped (crash, NAT rebind, network
+        partition — anything but a clean ``stopped`` event) would
+        otherwise sit in the registry forever and keep being handed out
+        to new peers as a dead address.  Entries are scanned and removed
+        in registration (dict-insertion) order, itself a pure function
+        of the announce sequence, so the swap-remove state the samplers
+        see stays deterministic.  ``announce_seq`` is untouched: it
+        feeds the per-request RNG derivation and must only ever count
+        announces.
+        """
+        cutoff = now - max_age
+        dead = [
+            address
+            for address, entry in self.entries.items()
+            if entry.last_seen < cutoff
+        ]
+        for address in dead:
+            del self.entries[address]
+            self.all.discard(address)
+            self.seeds.discard(address)
+            self.leechers.discard(address)
+        return dead
+
     def scrape(self) -> Tuple[int, int]:
         """(seeds, leechers) currently registered."""
         return len(self.seeds), len(self.leechers)
@@ -210,6 +236,17 @@ class ShardedSwarmStore:
                 yield shard[infohash]
 
     # -- maintenance -------------------------------------------------------
+
+    def expire(self, now: float, max_age: float) -> int:
+        """Reap stale peers from every swarm; returns how many died.
+
+        Swarm objects are kept even when emptied: their ``announce_seq``
+        feeds per-request RNG derivation and must survive the reap.
+        """
+        reaped = 0
+        for state in self.swarms():
+            reaped += len(state.expire(now, max_age))
+        return reaped
 
     def rebalance(self, num_shards: int) -> int:
         """Re-home every swarm under a new shard count; returns how many

@@ -429,6 +429,100 @@ class TestLoadShedding:
             AnnounceBudget(announces_per_second=1.0, max_interval_factor=0.5)
 
 
+class TestDeadPeerExpiry:
+    """Tracker-side reaping of peers whose announces stopped arriving."""
+
+    def announce(self, service, address, event="started", **kwargs):
+        return service.announce(
+            AnnounceRequest(
+                infohash=HASH_A, address=address, event=event, **kwargs
+            )
+        )
+
+    def test_silent_peer_reaped_after_k_intervals(self):
+        service, clock = make_service(interval=100.0, expiry_intervals=3.0)
+        self.announce(service, "10.0.0.1:6881")  # then goes silent
+        for tick in range(1, 5):
+            clock.now = tick * 100.0
+            self.announce(service, "10.0.0.2:6881")
+            if clock.now <= 300.0:
+                # Not yet 3 full intervals of silence: still registered.
+                assert "10.0.0.1:6881" in service.store.get(HASH_A).entries
+        # t=400: the silent peer missed >3 intervals; the live peer's
+        # announce lazily reaped it.
+        state = service.store.get(HASH_A)
+        assert "10.0.0.1:6881" not in state.entries
+        assert "10.0.0.2:6881" in state.entries
+        assert service.expired_peers == 1
+        assert service.stats()["expired"] == 1
+
+    def test_reaped_peer_never_sampled(self):
+        service, clock = make_service(interval=10.0, expiry_intervals=2.0)
+        self.announce(service, "10.0.0.1:6881")
+        clock.now = 100.0
+        result = self.announce(service, "10.0.0.2:6881", num_want=50)
+        assert "10.0.0.1:6881" not in result.peers
+        assert (result.seeds, result.leechers) == (0, 1)
+
+    def test_expiry_preserves_announce_seq(self):
+        # announce_seq feeds the per-request RNG derivation: reaping a
+        # peer must never rewind or advance it.
+        state = SwarmState(HASH_A)
+        state.update("10.0.0.1:6881", event="started", is_seed=False, now=0.0)
+        state.update("10.0.0.2:6881", event="started", is_seed=True, now=0.0)
+        seq = state.announce_seq
+        dead = state.expire(now=1000.0, max_age=10.0)
+        assert sorted(dead) == ["10.0.0.1:6881", "10.0.0.2:6881"]
+        assert state.announce_seq == seq
+
+    def test_expire_cleans_role_indexes(self):
+        state = SwarmState(HASH_A)
+        state.update("s:1", event="started", is_seed=True, now=0.0)
+        state.update("l:1", event="started", is_seed=False, now=0.0)
+        state.update("l:2", event="started", is_seed=False, now=50.0)
+        state.expire(now=60.0, max_age=30.0)
+        assert state.addresses() == ["l:2"]
+        assert state.scrape() == (0, 1)
+        assert "s:1" not in state.seeds and "l:1" not in state.leechers
+
+    def test_boundary_age_survives(self):
+        # Exactly max_age old is still alive; only *older* peers die.
+        state = SwarmState(HASH_A)
+        state.update("10.0.0.1:6881", event="started", is_seed=False, now=0.0)
+        assert state.expire(now=30.0, max_age=30.0) == []
+        assert state.expire(now=30.1, max_age=30.0) == ["10.0.0.1:6881"]
+
+    def test_reap_sweeps_idle_swarms_but_keeps_them(self):
+        # Lazy expiry only fires on announce; the full-store reap is
+        # what cleans swarms whose traffic stopped entirely — without
+        # dropping the SwarmState (its announce_seq must survive).
+        service, clock = make_service(interval=10.0, expiry_intervals=2.0)
+        self.announce(service, "10.0.0.1:6881")
+        service.announce(
+            AnnounceRequest(infohash=HASH_B, address="10.0.0.9:6881",
+                            event="started")
+        )
+        seq = service.store.get(HASH_A).announce_seq
+        clock.now = 500.0
+        assert service.reap() == 2
+        assert service.expired_peers == 2
+        state = service.store.get(HASH_A)
+        assert state is not None and len(state) == 0
+        assert state.announce_seq == seq
+        assert service.store.total_swarms == 2
+
+    def test_no_expiry_by_default(self):
+        service, clock = make_service(interval=10.0)
+        self.announce(service, "10.0.0.1:6881")
+        clock.now = 1e9
+        assert service.reap() == 0
+        assert "10.0.0.1:6881" in service.store.get(HASH_A).entries
+
+    def test_expiry_validation(self):
+        with pytest.raises(ValueError):
+            make_service(expiry_intervals=0.0)
+
+
 class TestFederation:
     def make_federation(self, replicas=3):
         clock = _Clock()
